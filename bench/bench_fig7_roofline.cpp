@@ -1,0 +1,71 @@
+// Figure 7: hot-spot profile + roofline analysis of NiO-32, Ref vs
+// Current, on the BDW-class host.
+//
+// The paper's Advisor rooflines show every major kernel jumping up and
+// to the right (higher arithmetic intensity from single precision and
+// SoA layouts, higher GFLOP/s from vectorization) after the
+// transformation, with all four kernels above the L3 roofline on BDW.
+// qmcxx combines measured kernel times/call counts with analytic
+// flop/byte models and in-situ machine roof measurements.
+#include "bench/bench_common.h"
+#include "instrument/roofline.h"
+
+using namespace qmcxx;
+
+int main()
+{
+  bench::header("Figure 7: NiO-32 hot-spot profile and roofline, Ref vs Current",
+                "Mathuriya et al. SC'17, Fig. 7");
+
+  const MachineRoofs roofs = measure_machine_roofs();
+  std::printf("host rooflines (measured in-situ):\n");
+  std::printf("  SP vector peak: %.1f GFLOP/s, DP: %.1f GFLOP/s\n", roofs.peak_gflops_sp,
+              roofs.peak_gflops_dp);
+  std::printf("  DRAM: %.1f GB/s, cache: %.1f GB/s\n\n", roofs.dram_gbs, roofs.cache_gbs);
+
+  const WorkloadInfo& info = workload_info(Workload::NiO32);
+  EngineReport reports[2] = {bench::run(Workload::NiO32, EngineVariant::Ref),
+                             bench::run(Workload::NiO32, EngineVariant::Current)};
+  const EngineVariant variants[2] = {EngineVariant::Ref, EngineVariant::Current};
+
+  const double speedup = reports[0].result.seconds / reports[1].result.seconds *
+      (static_cast<double>(reports[1].result.total_samples) / reports[0].result.total_samples);
+
+  for (int c = 0; c < 2; ++c)
+  {
+    std::printf("%s profile:\n", to_string(variants[c]));
+    print_profile(to_string(variants[c]), reports[c].profile,
+                  c == 1 ? 1.0 / speedup : 1.0);
+    const auto kernels = build_roofline(reports[c].profile, info, variants[c]);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"kernel", "AI (flop/byte)", "GFLOP/s", "% of roof"});
+    for (const auto& k : kernels)
+    {
+      if (k.seconds <= 0)
+        continue;
+      const double ai = k.arithmetic_intensity();
+      const double roof = std::min(
+          variants[c] == EngineVariant::Ref ? roofs.peak_gflops_dp : roofs.peak_gflops_sp,
+          ai * roofs.dram_gbs);
+      rows.push_back({kernel_name(k.kernel), fmt(ai, 2), fmt(k.gflops(), 2),
+                      fmt(100 * k.gflops() / roof, 1) + "%"});
+    }
+    print_table(rows);
+    std::printf("\n");
+  }
+
+  // Shape checks mirrored from the figure: AI and GFLOPS increase for
+  // the profiled kernels going Ref -> Current.
+  const auto ref_k = build_roofline(reports[0].profile, info, EngineVariant::Ref);
+  const auto cur_k = build_roofline(reports[1].profile, info, EngineVariant::Current);
+  std::printf("Ref -> Current movement (paper: 'large jump in both AI and FLOPS'):\n");
+  for (std::size_t i = 0; i < ref_k.size(); ++i)
+  {
+    if (ref_k[i].seconds <= 0 || cur_k[i].seconds <= 0)
+      continue;
+    std::printf("  %-11s AI %5.2f -> %5.2f   GFLOP/s %6.2f -> %6.2f\n",
+                kernel_name(ref_k[i].kernel), ref_k[i].arithmetic_intensity(),
+                cur_k[i].arithmetic_intensity(), ref_k[i].gflops(), cur_k[i].gflops());
+  }
+  return 0;
+}

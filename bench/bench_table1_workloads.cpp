@@ -1,0 +1,71 @@
+// Table 1: "Workloads used in this work and their key properties."
+//
+// Prints the paper's workload metadata next to the qmcxx realization
+// (synthetic-orbital grids, measured spline-table sizes). The paper's
+// spline tables are DFT-derived and GB-scale; qmcxx scales the grids
+// down while preserving the size ordering (DESIGN.md substitution).
+#include "bench/bench_common.h"
+#include "workloads/system_builder.h"
+
+using namespace qmcxx;
+
+int main()
+{
+  bench::header("Table 1: benchmark workloads and key properties",
+                "Mathuriya et al. SC'17, Table 1");
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"property", "Graphite", "Be-64", "NiO-32", "NiO-64"});
+
+  std::vector<const WorkloadInfo*> infos;
+  for (Workload w : all_workloads)
+    infos.push_back(&workload_info(w));
+
+  auto add_row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> row{label};
+    for (const auto* info : infos)
+      row.push_back(getter(*info));
+    rows.push_back(row);
+  };
+
+  add_row("N (electrons)", [](const WorkloadInfo& i) { return std::to_string(i.num_electrons); });
+  add_row("Nion", [](const WorkloadInfo& i) { return std::to_string(i.num_ions); });
+  add_row("Nion/unit cell",
+          [](const WorkloadInfo& i) { return std::to_string(i.ions_per_unit_cell); });
+  add_row("# of unit cells",
+          [](const WorkloadInfo& i) { return std::to_string(i.num_unit_cells); });
+  add_row("Ion types (Z*)", [](const WorkloadInfo& i) { return i.ion_types; });
+  add_row("# unique SPOs (paper)",
+          [](const WorkloadInfo& i) { return std::to_string(i.paper_unique_spos); });
+  add_row("FFT grid (paper)", [](const WorkloadInfo& i) { return i.paper_fft_grid; });
+  add_row("B-spline GB (paper)",
+          [](const WorkloadInfo& i) { return fmt(i.paper_spline_gb, 1); });
+  add_row("pseudopotential",
+          [](const WorkloadInfo& i) { return std::string(i.has_pseudopotential ? "yes" : "no"); });
+  add_row("qmcxx grid", [](const WorkloadInfo& i) {
+    return std::to_string(i.grid[0]) + "x" + std::to_string(i.grid[1]) + "x" +
+        std::to_string(i.grid[2]);
+  });
+  add_row("qmcxx orbitals/spin",
+          [](const WorkloadInfo& i) { return std::to_string(i.num_orbitals); });
+
+  // Measured spline-table bytes (SoA float backend, as in Current).
+  std::vector<std::string> spline_row{"qmcxx spline table"};
+  std::vector<std::string> wigner_row{"Wigner-Seitz radius"};
+  for (const auto* info : infos)
+  {
+    BuildOptions opt;
+    opt.with_hamiltonian = false;
+    auto sys = build_system<float>(*info, opt);
+    spline_row.push_back(format_bytes(sys.spos->table_bytes()));
+    wigner_row.push_back(fmt(info->lattice.wigner_seitz_radius(), 2) + " a0");
+  }
+  rows.push_back(spline_row);
+  rows.push_back(wigner_row);
+
+  print_table(rows);
+  std::printf("\nNote: paper spline sizes are DFT-derived GB-scale tables; qmcxx\n"
+              "uses synthetic orbitals on scaled grids with the same ordering\n"
+              "(Graphite smallest, NiO-64 largest). See DESIGN.md.\n");
+  return 0;
+}

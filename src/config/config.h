@@ -1,0 +1,76 @@
+// qmcxx: configuration, precision policy and engine taxonomy.
+//
+// The paper (Mathuriya et al., SC'17) evaluates three configurations of
+// QMCPACK:
+//   Ref      -- AoS data layout, store-over-compute, all double precision
+//   Ref+MP   -- Ref algorithms with key tables in single precision
+//   Current  -- SoA layout, forward update, compute-on-the-fly, mixed
+//               precision
+// qmcxx mirrors this taxonomy: layout is selected by concrete classes
+// (Aos* vs Soa*), precision by the TR template parameter, and the three
+// named configurations are EngineVariant values wired up in
+// drivers/qmc_system.h.
+#ifndef QMCXX_CONFIG_CONFIG_H
+#define QMCXX_CONFIG_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qmcxx
+{
+
+/// Spatial dimension of the simulations. The paper's abstractions are
+/// D-dimensional; all workloads are 3D.
+inline constexpr unsigned OHMMS_DIM = 3;
+
+/// Cache-line alignment (bytes) used by all hot containers.
+inline constexpr std::size_t QMC_SIMD_ALIGNMENT = 64;
+
+/// Index type used throughout (matches QMCPACK's choice of int).
+using IndexType = int;
+
+/// Accumulation type: per-walker and ensemble quantities are always kept
+/// in double precision (paper Sec. 7.2).
+using AccumType = double;
+
+/// Position type: walker coordinates are kept in double precision; only
+/// derived tables (distances, Jastrow values, spline tables, inverse
+/// matrices) move to single precision under mixed precision.
+using PosReal = double;
+
+/// The three engine configurations evaluated in the paper.
+enum class EngineVariant
+{
+  Ref,     ///< AoS, store-over-compute, double
+  RefMP,   ///< AoS, store-over-compute, mixed precision
+  Current, ///< SoA, forward update, compute-on-the-fly, mixed precision
+  CurrentDP ///< Current algorithms in full double precision (ablation)
+};
+
+inline const char* to_string(EngineVariant v)
+{
+  switch (v)
+  {
+  case EngineVariant::Ref: return "Ref";
+  case EngineVariant::RefMP: return "Ref+MP";
+  case EngineVariant::Current: return "Current";
+  case EngineVariant::CurrentDP: return "Current(DP)";
+  }
+  return "unknown";
+}
+
+/// Round n up to a multiple of the SIMD alignment in elements of T.
+/// SoA containers pad each component row to this size so that every row
+/// starts cache-aligned (paper Sec. 7.4, "full N x Np storage").
+template<typename T>
+constexpr std::size_t getAlignedSize(std::size_t n)
+{
+  constexpr std::size_t per_line = QMC_SIMD_ALIGNMENT / sizeof(T);
+  static_assert(per_line > 0);
+  return ((n + per_line - 1) / per_line) * per_line;
+}
+
+} // namespace qmcxx
+
+#endif

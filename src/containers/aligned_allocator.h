@@ -1,0 +1,67 @@
+// Cache-aligned allocator used by every hot container.
+//
+// The paper's SoA containers "use cache-aligned allocators chosen at the
+// compile time" (Sec. 7.3). Alignment lets the compiler emit aligned
+// vector loads for unit-stride loops over particle components.
+#ifndef QMCXX_CONTAINERS_ALIGNED_ALLOCATOR_H
+#define QMCXX_CONTAINERS_ALIGNED_ALLOCATOR_H
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "config/config.h"
+#include "instrument/memory_tracker.h"
+
+namespace qmcxx
+{
+
+/// STL-compatible allocator returning ALIGN-byte aligned storage.
+/// All allocations are reported to the global MemoryTracker so that the
+/// memory-footprint experiments (Fig. 8/9) measure real allocations.
+template<typename T, std::size_t ALIGN = QMC_SIMD_ALIGNMENT>
+class AlignedAllocator
+{
+public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{ALIGN};
+
+  AlignedAllocator() noexcept = default;
+  template<typename U>
+  AlignedAllocator(const AlignedAllocator<U, ALIGN>&) noexcept
+  {}
+
+  template<typename U>
+  struct rebind
+  {
+    using other = AlignedAllocator<U, ALIGN>;
+  };
+
+  T* allocate(std::size_t n)
+  {
+    if (n == 0)
+      n = 1;
+    void* p = ::operator new(n * sizeof(T), alignment);
+    MemoryTracker::instance().allocate(n * sizeof(T));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept
+  {
+    if (n == 0)
+      n = 1;
+    MemoryTracker::instance().deallocate(n * sizeof(T));
+    ::operator delete(p, alignment);
+  }
+
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// Convenience alias: a std::vector with cache-aligned storage.
+template<typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace qmcxx
+
+#endif

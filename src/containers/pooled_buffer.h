@@ -1,0 +1,88 @@
+// Anonymous walker buffer (paper Fig. 4: `Buffer<T> Any`).
+//
+// Each walker owns an opaque byte stream holding whatever internal state
+// its wavefunction components need to resume particle-by-particle updates
+// without recomputation. The exact composition is only known at run time;
+// components append their state during a registration pass and then
+// stream it in/out around loadWalker/storeWalker. The size of this buffer
+// is exactly the per-walker memory the paper's compute-on-the-fly work
+// shrinks from O(N^2) to O(N).
+#ifndef QMCXX_CONTAINERS_POOLED_BUFFER_H
+#define QMCXX_CONTAINERS_POOLED_BUFFER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+#include "containers/aligned_allocator.h"
+
+namespace qmcxx
+{
+
+class PooledBuffer
+{
+public:
+  /// Registration pass: reserve space for n values of T, returning the
+  /// byte offset (components usually ignore it and rely on ordering).
+  template<typename T>
+  std::size_t reserve(std::size_t n)
+  {
+    const std::size_t offset = align(data_.size(), alignof(T));
+    data_.resize(offset + n * sizeof(T));
+    return offset;
+  }
+
+  /// Rewind the stream cursor before a put/get pass.
+  void rewind() { cursor_ = 0; }
+
+  /// Stream n values of T into the buffer at the cursor.
+  template<typename T>
+  void put(const T* v, std::size_t n)
+  {
+    cursor_ = align(cursor_, alignof(T));
+    assert(cursor_ + n * sizeof(T) <= data_.size());
+    std::memcpy(data_.data() + cursor_, v, n * sizeof(T));
+    cursor_ += n * sizeof(T);
+  }
+
+  template<typename T>
+  void put(const T& v)
+  {
+    put(&v, 1);
+  }
+
+  /// Stream n values of T out of the buffer at the cursor.
+  template<typename T>
+  void get(T* v, std::size_t n)
+  {
+    cursor_ = align(cursor_, alignof(T));
+    assert(cursor_ + n * sizeof(T) <= data_.size());
+    std::memcpy(v, data_.data() + cursor_, n * sizeof(T));
+    cursor_ += n * sizeof(T);
+  }
+
+  template<typename T>
+  void get(T& v)
+  {
+    get(&v, 1);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t cursor() const { return cursor_; }
+  void clear()
+  {
+    data_.clear();
+    data_.shrink_to_fit();
+    cursor_ = 0;
+  }
+
+private:
+  static std::size_t align(std::size_t offset, std::size_t a) { return (offset + a - 1) / a * a; }
+
+  aligned_vector<char> data_;
+  std::size_t cursor_ = 0;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,123 @@
+// Fixed-size D-dimensional vector: the AoS building block (paper Fig. 4).
+//
+// TinyVector<T,D> is the element type of the AoS containers
+// (Vector<TinyVector<T,3>> == R[N][3]) whose scalar access patterns the
+// paper identifies as the root cause of poor SIMD efficiency. It is kept
+// deliberately faithful to the QMCPACK abstraction so that the Ref code
+// path exercises the same layout.
+#ifndef QMCXX_CONTAINERS_TINY_VECTOR_H
+#define QMCXX_CONTAINERS_TINY_VECTOR_H
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace qmcxx
+{
+
+template<typename T, unsigned D>
+class TinyVector
+{
+public:
+  using value_type = T;
+  static constexpr unsigned dim = D;
+
+  constexpr TinyVector() : x_{} {}
+  constexpr explicit TinyVector(T v)
+  {
+    for (unsigned d = 0; d < D; ++d)
+      x_[d] = v;
+  }
+  constexpr TinyVector(T a, T b) requires(D == 2) : x_{a, b} {}
+  constexpr TinyVector(T a, T b, T c) requires(D == 3) : x_{a, b, c} {}
+
+  template<typename U>
+  constexpr explicit TinyVector(const TinyVector<U, D>& rhs)
+  {
+    for (unsigned d = 0; d < D; ++d)
+      x_[d] = static_cast<T>(rhs[d]);
+  }
+
+  constexpr T& operator[](unsigned d) { return x_[d]; }
+  constexpr const T& operator[](unsigned d) const { return x_[d]; }
+
+  constexpr T* data() { return x_.data(); }
+  constexpr const T* data() const { return x_.data(); }
+
+  constexpr TinyVector& operator+=(const TinyVector& rhs)
+  {
+    for (unsigned d = 0; d < D; ++d)
+      x_[d] += rhs.x_[d];
+    return *this;
+  }
+  constexpr TinyVector& operator-=(const TinyVector& rhs)
+  {
+    for (unsigned d = 0; d < D; ++d)
+      x_[d] -= rhs.x_[d];
+    return *this;
+  }
+  constexpr TinyVector& operator*=(T s)
+  {
+    for (unsigned d = 0; d < D; ++d)
+      x_[d] *= s;
+    return *this;
+  }
+
+  friend constexpr TinyVector operator+(TinyVector a, const TinyVector& b) { return a += b; }
+  friend constexpr TinyVector operator-(TinyVector a, const TinyVector& b) { return a -= b; }
+  friend constexpr TinyVector operator*(TinyVector a, T s) { return a *= s; }
+  friend constexpr TinyVector operator*(T s, TinyVector a) { return a *= s; }
+  friend constexpr TinyVector operator-(const TinyVector& a)
+  {
+    TinyVector r;
+    for (unsigned d = 0; d < D; ++d)
+      r[d] = -a[d];
+    return r;
+  }
+
+  friend constexpr bool operator==(const TinyVector& a, const TinyVector& b) { return a.x_ == b.x_; }
+
+private:
+  std::array<T, D> x_;
+};
+
+template<typename T, unsigned D>
+constexpr T dot(const TinyVector<T, D>& a, const TinyVector<T, D>& b)
+{
+  T s{};
+  for (unsigned d = 0; d < D; ++d)
+    s += a[d] * b[d];
+  return s;
+}
+
+template<typename T>
+constexpr TinyVector<T, 3> cross(const TinyVector<T, 3>& a, const TinyVector<T, 3>& b)
+{
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]};
+}
+
+template<typename T, unsigned D>
+constexpr T norm2(const TinyVector<T, D>& a)
+{
+  return dot(a, a);
+}
+
+template<typename T, unsigned D>
+T norm(const TinyVector<T, D>& a)
+{
+  return std::sqrt(norm2(a));
+}
+
+template<typename T, unsigned D>
+std::ostream& operator<<(std::ostream& os, const TinyVector<T, D>& v)
+{
+  os << '(';
+  for (unsigned d = 0; d < D; ++d)
+    os << v[d] << (d + 1 < D ? "," : ")");
+  return os;
+}
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,104 @@
+// VectorSoaContainer<T,D> (VSC): the paper's central data-layout device.
+//
+// A VSC is the transposed (structure-of-arrays) form of
+// Vector<TinyVector<T,D>>: instead of R[N][3] it stores Rsoa[3][Np] where
+// Np is N padded to the SIMD alignment, so each component row is
+// cache-aligned and unit-stride (paper Sec. 7.3, Fig. 5). It provides
+// AoS-style element access for the physics layer plus raw row pointers
+// for vectorized kernels, and assignment from the AoS counterpart so
+// both representations can coexist ("complementary objects").
+#ifndef QMCXX_CONTAINERS_VECTOR_SOA_H
+#define QMCXX_CONTAINERS_VECTOR_SOA_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "config/config.h"
+#include "containers/aligned_allocator.h"
+#include "containers/tiny_vector.h"
+
+namespace qmcxx
+{
+
+template<typename T, unsigned D>
+class VectorSoaContainer
+{
+public:
+  using value_type = TinyVector<T, D>;
+
+  VectorSoaContainer() = default;
+  explicit VectorSoaContainer(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n)
+  {
+    n_ = n;
+    np_ = getAlignedSize<T>(n);
+    x_.assign(np_ * D, T{});
+  }
+
+  std::size_t size() const { return n_; }
+  /// Padded row length; kernels iterate to size() but may safely touch
+  /// up to capacity() (padding is zero-initialized).
+  std::size_t capacity() const { return np_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Gather element i back into AoS form.
+  value_type operator[](std::size_t i) const
+  {
+    assert(i < n_);
+    value_type v;
+    for (unsigned d = 0; d < D; ++d)
+      v[d] = x_[d * np_ + i];
+    return v;
+  }
+
+  /// Scatter an AoS element into the SoA rows.
+  template<typename U>
+  void assign(std::size_t i, const TinyVector<U, D>& v)
+  {
+    assert(i < n_);
+    for (unsigned d = 0; d < D; ++d)
+      x_[d * np_ + i] = static_cast<T>(v[d]);
+  }
+
+  T& operator()(unsigned d, std::size_t i) { return x_[d * np_ + i]; }
+  const T& operator()(unsigned d, std::size_t i) const { return x_[d * np_ + i]; }
+
+  /// Aligned pointer to component row d.
+  T* data(unsigned d) { return x_.data() + d * np_; }
+  const T* data(unsigned d) const { return x_.data() + d * np_; }
+
+  /// AoS-to-SoA assignment (paper Fig. 5: Rsoa = awalker.R).
+  template<typename U, typename Alloc>
+  VectorSoaContainer& operator=(const std::vector<TinyVector<U, D>, Alloc>& rhs)
+  {
+    if (rhs.size() != n_)
+      resize(rhs.size());
+    for (std::size_t i = 0; i < n_; ++i)
+      assign(i, rhs[i]);
+    return *this;
+  }
+
+  /// Copy back out to the AoS counterpart.
+  template<typename U, typename Alloc>
+  void copyTo(std::vector<TinyVector<U, D>, Alloc>& rhs) const
+  {
+    rhs.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+    {
+      const value_type v = (*this)[i];
+      for (unsigned d = 0; d < D; ++d)
+        rhs[i][d] = static_cast<U>(v[d]);
+    }
+  }
+
+private:
+  std::size_t n_ = 0;
+  std::size_t np_ = 0;
+  aligned_vector<T> x_;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,6 @@
+#include "drivers/qmc_driver_impl.h"
+
+namespace qmcxx
+{
+template class QMCDriver<double>;
+} // namespace qmcxx

@@ -1,0 +1,287 @@
+// Implementation of the templated QMC drivers (included by the explicit
+// instantiation units vmc.cpp / dmc.cpp).
+#ifndef QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
+#define QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
+
+#include <chrono>
+#include <cmath>
+
+#include <omp.h>
+
+#include "drivers/qmc_drivers.h"
+
+namespace qmcxx
+{
+
+namespace detail
+{
+
+/// Umrigar drift limiting: keeps the drift step bounded near nodes.
+inline TinyVector<double, 3> limited_drift(const TinyVector<double, 3>& grad, double tau)
+{
+  const double v2 = dot(grad, grad);
+  if (v2 < 1e-300)
+    return TinyVector<double, 3>{};
+  const double tau_eff = (-1.0 + std::sqrt(1.0 + 2.0 * tau * v2)) / v2;
+  return tau_eff * grad;
+}
+
+} // namespace detail
+
+template<typename TR>
+QMCDriver<TR>::QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hamiltonian<TR>& ham,
+                         DriverConfig config)
+    : elec_proto_(elec), twf_proto_(twf), ham_proto_(ham), config_(config),
+      branch_rng_(config.seed ^ 0xb1a2c3d4e5f60718ull)
+{
+  if (config_.threads > 0)
+    omp_set_num_threads(config_.threads);
+  make_thread_contexts();
+}
+
+template<typename TR>
+QMCDriver<TR>::~QMCDriver() = default;
+
+template<typename TR>
+void QMCDriver<TR>::make_thread_contexts()
+{
+  const int nthreads = config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  contexts_.clear();
+  for (int t = 0; t < nthreads; ++t)
+  {
+    ThreadContext<TR> ctx;
+    ctx.elec = elec_proto_.clone();
+    ctx.twf = twf_proto_.clone();
+    ctx.ham = ham_proto_.clone();
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+template<typename TR>
+void QMCDriver<TR>::initialize_population()
+{
+  pop_.walkers.clear();
+  pop_.rngs.clear();
+  auto& ctx = contexts_.front();
+  for (int iw = 0; iw < config_.num_walkers; ++iw)
+  {
+    auto w = std::make_unique<Walker>(elec_proto_.size());
+    w->id = static_cast<std::uint64_t>(iw);
+    RandomGenerator rng(config_.seed + 7919ull * static_cast<std::uint64_t>(iw));
+    // Jittered copy of the prototype configuration.
+    for (int i = 0; i < elec_proto_.size(); ++i)
+      w->R[i] = elec_proto_.R[i] +
+          TinyVector<double, 3>{0.1 * rng.gaussian(), 0.1 * rng.gaussian(), 0.1 * rng.gaussian()};
+    // Register and fill the anonymous buffer (paper Fig. 4).
+    ctx.elec->load_walker(*w);
+    ctx.elec->update();
+    ctx.twf->evaluate_log(*ctx.elec);
+    ctx.twf->register_data(w->buffer);
+    ctx.twf->update_buffer(*w);
+    w->local_energy = ctx.ham->evaluate(*ctx.elec, *ctx.twf);
+    w->old_local_energy = w->local_energy;
+    pop_.walkers.push_back(std::move(w));
+    pop_.rngs.push_back(rng);
+  }
+}
+
+template<typename TR>
+typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(ThreadContext<TR>& ctx, Walker& w,
+                                                                 RandomGenerator& rng,
+                                                                 bool recompute)
+{
+  ParticleSet<TR>& p = *ctx.elec;
+  TrialWaveFunction<TR>& twf = *ctx.twf;
+  const double tau = config_.tau;
+  const double sqrt_tau = std::sqrt(tau);
+  const int n = p.size();
+
+  p.load_walker(w);
+  p.update();
+  if (recompute)
+    twf.evaluate_log(p); // from-scratch repair (Sec. 7.2)
+  else
+    twf.copy_from_buffer(p, w);
+
+  SweepOutcome out;
+  for (int k = 0; k < n; ++k)
+  {
+    p.prepare_move(k);
+    TinyVector<double, 3> drift{};
+    if (config_.use_drift)
+      drift = detail::limited_drift(twf.eval_grad(p, k), tau);
+    const TinyVector<double, 3> chi{sqrt_tau * rng.gaussian(), sqrt_tau * rng.gaussian(),
+                                    sqrt_tau * rng.gaussian()};
+    const TinyVector<double, 3> rnew = p.R[k] + drift + chi;
+    p.make_move(k, rnew);
+    TinyVector<double, 3> grad_new{};
+    const double ratio = twf.calc_ratio_grad(p, k, grad_new);
+    ++out.proposed;
+
+    bool accept = false;
+    if (std::isfinite(ratio) && ratio > 0.0) // fixed-node: reject node crossings
+    {
+      double log_gf = 0.0;
+      if (config_.use_drift)
+      {
+        // Green-function ratio G(R'->R)/G(R->R') for drift-diffusion.
+        const TinyVector<double, 3> drift_new = detail::limited_drift(grad_new, tau);
+        const TinyVector<double, 3> back = p.R[k] - rnew - drift_new; // R - R' - D(R')
+        const TinyVector<double, 3> fwd = chi;                        // R' - R - D(R)
+        log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
+      }
+      const double prob = ratio * ratio * std::exp(log_gf);
+      accept = rng.uniform() < prob;
+    }
+    if (accept)
+    {
+      twf.accept_move(p, k);
+      ++out.accepted;
+    }
+    else
+    {
+      twf.reject_move(p, k);
+    }
+  }
+
+  // Measurement (Alg. 1 L11): refresh tables, then E_L.
+  p.update();
+  out.local_energy = ctx.ham->evaluate(p, twf);
+  twf.update_buffer(w);
+  p.store_walker(w);
+  w.old_local_energy = w.local_energy;
+  w.local_energy = out.local_energy;
+  w.age = out.accepted > 0 ? 0 : w.age + 1;
+  return out;
+}
+
+template<typename TR>
+RunResult QMCDriver<TR>::run_vmc()
+{
+  RunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int gen = 0; gen < config_.steps; ++gen)
+  {
+    const bool recompute =
+        config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
+    double e_sum = 0.0, e2_sum = 0.0;
+    std::int64_t accepted = 0, proposed = 0;
+    const int nw = pop_.size();
+#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
+    for (int iw = 0; iw < nw; ++iw)
+    {
+      ThreadContext<TR>& ctx = contexts_[omp_get_thread_num()];
+      const SweepOutcome out = sweep_walker(ctx, *pop_.walkers[iw], pop_.rngs[iw], recompute);
+      e_sum += out.local_energy;
+      e2_sum += out.local_energy * out.local_energy;
+      accepted += out.accepted;
+      proposed += out.proposed;
+    }
+    GenerationStats stats;
+    stats.num_walkers = nw;
+    stats.weight = nw;
+    stats.energy = e_sum / nw;
+    stats.variance = e2_sum / nw - stats.energy * stats.energy;
+    stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    result.generations.push_back(stats);
+    result.total_samples += nw;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.throughput = result.total_samples / result.seconds;
+  // Post-warmup averages.
+  double e = 0, v = 0, a = 0;
+  int count = 0;
+  for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
+  {
+    e += result.generations[g].energy;
+    v += result.generations[g].variance;
+    a += result.generations[g].acceptance;
+    ++count;
+  }
+  if (count > 0)
+  {
+    result.mean_energy = e / count;
+    result.mean_variance = v / count;
+    result.mean_acceptance = a / count;
+  }
+  return result;
+}
+
+template<typename TR>
+RunResult QMCDriver<TR>::run_dmc()
+{
+  RunResult result;
+  // Initialize the trial energy from the current population.
+  double e0 = 0.0;
+  for (const auto& w : pop_.walkers)
+    e0 += w->local_energy;
+  trial_energy_ = e0 / pop_.size();
+
+  const double tau = config_.tau;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int gen = 0; gen < config_.steps; ++gen)
+  {
+    const bool recompute =
+        config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
+    double ew_sum = 0.0, e2w_sum = 0.0, w_sum = 0.0;
+    std::int64_t accepted = 0, proposed = 0;
+    const int nw = pop_.size();
+#pragma omp parallel for schedule(dynamic) \
+    reduction(+ : ew_sum, e2w_sum, w_sum, accepted, proposed)
+    for (int iw = 0; iw < nw; ++iw)
+    {
+      Walker& w = *pop_.walkers[iw];
+      ThreadContext<TR>& ctx = contexts_[omp_get_thread_num()];
+      const SweepOutcome out = sweep_walker(ctx, w, pop_.rngs[iw], recompute);
+      // Reweight (Alg. 1 L13): symmetric local-energy average.
+      const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
+      double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
+      branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
+      w.weight *= branch_weight;
+      ew_sum += w.weight * w.local_energy;
+      e2w_sum += w.weight * w.local_energy * w.local_energy;
+      w_sum += w.weight;
+      accepted += out.accepted;
+      proposed += out.proposed;
+    }
+    GenerationStats stats;
+    stats.num_walkers = nw;
+    stats.weight = w_sum;
+    stats.energy = ew_sum / w_sum;
+    stats.variance = e2w_sum / w_sum - stats.energy * stats.energy;
+    stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    result.total_samples += nw;
+
+    // Branch + trial-energy feedback (Alg. 1 L13-L14).
+    branch_walkers(pop_, config_.num_walkers, branch_rng_);
+    trial_energy_ = stats.energy -
+        config_.feedback / tau *
+            std::log(static_cast<double>(pop_.size()) / config_.num_walkers);
+    stats.trial_energy = trial_energy_;
+    result.generations.push_back(stats);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.throughput = result.total_samples / result.seconds;
+  double e = 0, v = 0, a = 0;
+  int count = 0;
+  for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
+  {
+    e += result.generations[g].energy;
+    v += result.generations[g].variance;
+    a += result.generations[g].acceptance;
+    ++count;
+  }
+  if (count > 0)
+  {
+    result.mean_energy = e / count;
+    result.mean_variance = v / count;
+    result.mean_acceptance = a / count;
+  }
+  return result;
+}
+
+} // namespace qmcxx
+
+#endif

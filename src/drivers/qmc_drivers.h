@@ -1,0 +1,141 @@
+// VMC and DMC drivers implementing the paper's Alg. 1.
+//
+// Thread-level structure mirrors Fig. 4: per-thread ParticleSet /
+// TrialWaveFunction / Hamiltonian clones process blocks of walkers
+// inside an OpenMP loop; loadWalker / storeWalker plus the anonymous
+// buffer move walker state in and out of the compute objects. The DMC
+// driver adds drift-diffusion importance sampling, weight accumulation,
+// birth/death branching and trial-energy feedback (Alg. 1 L11-L14).
+#ifndef QMCXX_DRIVERS_QMC_DRIVERS_H
+#define QMCXX_DRIVERS_QMC_DRIVERS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hamiltonian/hamiltonian.h"
+#include "numerics/rng.h"
+#include "particle/particle_set.h"
+#include "particle/walker.h"
+#include "wavefunction/trial_wavefunction.h"
+
+namespace qmcxx
+{
+
+struct DriverConfig
+{
+  double tau = 0.02;           ///< time step (hartree^-1)
+  int num_walkers = 8;         ///< target population (per "rank")
+  int steps = 10;              ///< MC generations to run
+  int warmup_steps = 0;        ///< generations discarded from statistics
+  std::uint64_t seed = 20170708;
+  int recompute_period = 10;   ///< from-scratch rebuild cadence (Sec. 7.2)
+  double feedback = 0.1;       ///< trial-energy population feedback
+  int threads = 0;             ///< OpenMP threads; 0 = runtime default
+  bool use_drift = true;       ///< importance-sampled proposals
+};
+
+/// Per-generation record (Alg. 1 bookkeeping).
+struct GenerationStats
+{
+  double energy = 0.0;      ///< weighted population average of E_L
+  double variance = 0.0;
+  double weight = 0.0;      ///< total population weight
+  int num_walkers = 0;
+  double acceptance = 0.0;  ///< PbyP acceptance ratio
+  double trial_energy = 0.0;
+};
+
+struct RunResult
+{
+  std::vector<GenerationStats> generations;
+  double mean_energy = 0.0;    ///< post-warmup average
+  double mean_variance = 0.0;
+  double mean_acceptance = 0.0;
+  double seconds = 0.0;
+  std::uint64_t total_samples = 0; ///< walker-generations processed
+  double throughput = 0.0;         ///< samples per second (paper Sec. 6.2)
+};
+
+/// Per-thread compute objects (paper Fig. 4: E_th, Psi_th).
+template<typename TR>
+struct ThreadContext
+{
+  std::unique_ptr<ParticleSet<TR>> elec;
+  std::unique_ptr<TrialWaveFunction<TR>> twf;
+  std::unique_ptr<Hamiltonian<TR>> ham;
+};
+
+/// The walking ensemble plus its RNG streams.
+class WalkerPopulation
+{
+public:
+  std::vector<std::unique_ptr<Walker>> walkers;
+  std::vector<RandomGenerator> rngs; ///< one stream per walker slot
+
+  int size() const { return static_cast<int>(walkers.size()); }
+  std::size_t byte_size() const
+  {
+    std::size_t b = 0;
+    for (const auto& w : walkers)
+      b += w->byte_size();
+    return b;
+  }
+};
+
+template<typename TR>
+class QMCDriver
+{
+public:
+  /// The prototype objects are cloned per thread; the prototype electron
+  /// set provides the initial configuration.
+  QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hamiltonian<TR>& ham,
+            DriverConfig config);
+  ~QMCDriver();
+
+  /// Create the target population: jittered copies of the prototype
+  /// configuration, buffers registered and filled.
+  void initialize_population();
+
+  WalkerPopulation& population() { return pop_; }
+
+  /// Variational Monte Carlo: sample |Psi_T|^2 (used for warmup and the
+  /// throughput benchmarks).
+  RunResult run_vmc();
+
+  /// Diffusion Monte Carlo (paper Alg. 1).
+  RunResult run_dmc();
+
+private:
+  struct SweepOutcome
+  {
+    int accepted = 0;
+    int proposed = 0;
+    double local_energy = 0.0;
+  };
+
+  /// One PbyP drift-diffusion sweep over all electrons of one walker,
+  /// followed by the local-energy measurement (Alg. 1 L4-L11).
+  SweepOutcome sweep_walker(ThreadContext<TR>& ctx, Walker& w, RandomGenerator& rng,
+                            bool recompute);
+
+  void make_thread_contexts();
+
+  ParticleSet<TR>& elec_proto_;
+  TrialWaveFunction<TR>& twf_proto_;
+  Hamiltonian<TR>& ham_proto_;
+  DriverConfig config_;
+  std::vector<ThreadContext<TR>> contexts_;
+  WalkerPopulation pop_;
+  double trial_energy_ = 0.0;
+  RandomGenerator branch_rng_;
+};
+
+/// Branching / population control (Alg. 1 L13: reweight and branch).
+/// Computes integer multiplicities from weights, replicates/kills
+/// walkers, and clamps the population into [target/2, 2*target].
+void branch_walkers(WalkerPopulation& pop, int target_population, RandomGenerator& rng);
+
+} // namespace qmcxx
+
+#endif

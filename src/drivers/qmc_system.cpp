@@ -1,0 +1,71 @@
+#include "drivers/qmc_system.h"
+
+#include <chrono>
+
+#include "drivers/qmc_drivers.h"
+#include "instrument/memory_tracker.h"
+#include "workloads/system_builder.h"
+
+namespace qmcxx
+{
+namespace
+{
+
+template<typename TR>
+EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
+{
+  auto& mt = MemoryTracker::instance();
+  auto& timers = TimerRegistry::instance();
+  mt.clearTags();
+  const std::size_t mem0 = mt.current();
+
+  const auto t_build0 = std::chrono::steady_clock::now();
+  const WorkloadInfo& info = workload_info(spec.workload);
+  BuildOptions opt;
+  opt.soa_layout = soa_layout;
+  opt.seed = spec.driver.seed;
+  QMCSystem<TR> sys = build_system<TR>(info, opt);
+
+  QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, spec.driver);
+  {
+    MemoryScope scope("walker-buffers");
+    driver.initialize_population();
+  }
+  const auto t_build1 = std::chrono::steady_clock::now();
+
+  EngineReport report;
+  report.build_seconds = std::chrono::duration<double>(t_build1 - t_build0).count();
+  report.footprint_bytes = mt.current() - mem0;
+  report.spline_bytes = sys.spos->table_bytes();
+  report.walker_bytes = driver.population().byte_size();
+  report.dist_table_bytes = 0;
+  for (int t = 0; t < sys.elec->num_tables(); ++t)
+    report.dist_table_bytes += sys.elec->table(t).storage_bytes();
+
+  mt.resetPeak();
+  timers.reset();
+  report.result = spec.dmc ? driver.run_dmc() : driver.run_vmc();
+  report.profile = timers.snapshot();
+  report.peak_bytes = mt.peak() - (mem0 < mt.peak() ? mem0 : 0);
+  return report;
+}
+
+} // namespace
+
+EngineReport run_engine(const EngineRunSpec& spec)
+{
+  switch (spec.variant)
+  {
+  case EngineVariant::Ref:
+    return run_typed<double>(spec, /*soa=*/false);
+  case EngineVariant::RefMP:
+    return run_typed<float>(spec, /*soa=*/false);
+  case EngineVariant::Current:
+    return run_typed<float>(spec, /*soa=*/true);
+  case EngineVariant::CurrentDP:
+    return run_typed<double>(spec, /*soa=*/true);
+  }
+  return {};
+}
+
+} // namespace qmcxx

@@ -1,0 +1,44 @@
+// Type-erased engine runner: one call runs a benchmark workload under a
+// named engine configuration (Ref / Ref+MP / Current) and returns the
+// figures of merit the paper reports -- throughput, hot-spot profile,
+// memory footprint -- alongside the physics statistics.
+#ifndef QMCXX_DRIVERS_QMC_SYSTEM_H
+#define QMCXX_DRIVERS_QMC_SYSTEM_H
+
+#include <cstddef>
+
+#include "config/config.h"
+#include "drivers/qmc_drivers.h"
+#include "instrument/timer.h"
+#include "workloads/workloads.h"
+
+namespace qmcxx
+{
+
+struct EngineReport
+{
+  RunResult result;
+  KernelTotals profile;          ///< hot-spot decomposition of the run
+  std::size_t footprint_bytes = 0; ///< tracked allocations after setup
+  std::size_t peak_bytes = 0;      ///< high-water mark during the run
+  std::size_t spline_bytes = 0;    ///< read-only orbital table
+  std::size_t walker_bytes = 0;    ///< per-walker positions + buffers
+  std::size_t dist_table_bytes = 0;
+  double build_seconds = 0.0;
+};
+
+struct EngineRunSpec
+{
+  Workload workload = Workload::NiO32;
+  EngineVariant variant = EngineVariant::Current;
+  DriverConfig driver;
+  bool dmc = true; ///< DMC (Alg. 1) vs VMC sampling
+};
+
+/// Build the system for the requested variant, run it, and collect the
+/// report. Timer and memory-tracker state is reset around the run.
+EngineReport run_engine(const EngineRunSpec& spec);
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,8 @@
+#include "drivers/qmc_driver_impl.h"
+
+namespace qmcxx
+{
+// VMC and DMC live in the same templated driver; this unit provides the
+// float instantiation (mixed precision).
+template class QMCDriver<float>;
+} // namespace qmcxx

@@ -1,0 +1,62 @@
+#include <algorithm>
+#include <cmath>
+
+#include "drivers/qmc_drivers.h"
+
+namespace qmcxx
+{
+
+void branch_walkers(WalkerPopulation& pop, int target_population, RandomGenerator& rng)
+{
+  // Stochastic rounding of weights into integer multiplicities
+  // (comb-free birth/death branching), followed by a hard clamp that
+  // keeps the population within [target/2, 2*target].
+  std::vector<std::unique_ptr<Walker>> next;
+  std::vector<RandomGenerator> next_rngs;
+  next.reserve(pop.walkers.size());
+
+  for (int iw = 0; iw < pop.size(); ++iw)
+  {
+    Walker& w = *pop.walkers[iw];
+    const int mult = static_cast<int>(w.weight + rng.uniform());
+    w.multiplicity = mult;
+    if (mult <= 0)
+      continue;
+    w.weight = 1.0;
+    for (int c = 0; c < mult; ++c)
+    {
+      if (c == 0)
+      {
+        next.push_back(std::move(pop.walkers[iw]));
+        next_rngs.push_back(pop.rngs[iw]);
+      }
+      else
+      {
+        // Deep copy (positions + buffer); fresh decorrelated RNG stream.
+        next.push_back(std::make_unique<Walker>(*next.back()));
+        RandomGenerator fresh(rng.next());
+        next_rngs.push_back(fresh);
+      }
+    }
+  }
+
+  // Guard rails: never let the population die out or explode.
+  const int min_pop = std::max(1, target_population / 2);
+  const int max_pop = 2 * target_population;
+  while (static_cast<int>(next.size()) < min_pop && !next.empty())
+  {
+    const std::size_t src = rng.range(next.size());
+    next.push_back(std::make_unique<Walker>(*next[src]));
+    next_rngs.push_back(RandomGenerator(rng.next()));
+  }
+  if (static_cast<int>(next.size()) > max_pop)
+  {
+    next.resize(max_pop);
+    next_rngs.resize(max_pop);
+  }
+
+  pop.walkers = std::move(next);
+  pop.rngs = std::move(next_rngs);
+}
+
+} // namespace qmcxx

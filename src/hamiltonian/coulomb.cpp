@@ -1,0 +1,11 @@
+#include "hamiltonian/coulomb.h"
+
+namespace qmcxx
+{
+template class CoulombEE<float>;
+template class CoulombEE<double>;
+template class CoulombII<float>;
+template class CoulombII<double>;
+template class CoulombEI<float>;
+template class CoulombEI<double>;
+} // namespace qmcxx

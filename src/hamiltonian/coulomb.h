@@ -1,0 +1,147 @@
+// Periodic Coulomb components of the local energy (paper Eq. 7).
+//
+//   CoulombEE  -- electron-electron Ewald energy (charge -1 each)
+//   CoulombII  -- ion-ion Ewald energy (Z* charges); a constant for
+//                 fixed ions, computed once
+//   CoulombEI  -- electron-ion point-charge Ewald plus the short-range
+//                 pseudopotential core correction that regularizes
+//                 -Z*/r into -Z* erf(r/r_core)/r near each ion
+//                 (substitution for the workloads' norm-conserving
+//                 pseudopotential local channels, see DESIGN.md)
+#ifndef QMCXX_HAMILTONIAN_COULOMB_H
+#define QMCXX_HAMILTONIAN_COULOMB_H
+
+#include <cmath>
+#include <memory>
+
+#include "hamiltonian/ewald.h"
+#include "hamiltonian/hamiltonian.h"
+#include "instrument/timer.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class CoulombEE : public HamiltonianComponent<TR>
+{
+public:
+  explicit CoulombEE(const Lattice& lattice)
+      : ewald_(std::make_shared<EwaldSum>(lattice))
+  {}
+
+  std::string name() const override { return "CoulombEE"; }
+
+  double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) override
+  {
+    (void)twf;
+    ScopedTimer timer(Kernel::Other);
+    if (charges_.size() != p.R.size())
+      charges_.assign(p.R.size(), -1.0);
+    return ewald_->energy(p.R, charges_);
+  }
+
+  std::unique_ptr<HamiltonianComponent<TR>> clone() const override
+  {
+    auto c = std::make_unique<CoulombEE<TR>>(*this);
+    return c;
+  }
+
+private:
+  std::shared_ptr<EwaldSum> ewald_; // shared: read-only tables
+  std::vector<double> charges_;
+};
+
+template<typename TR>
+class CoulombII : public HamiltonianComponent<TR>
+{
+public:
+  /// Computes the (constant) ion-ion energy up front.
+  explicit CoulombII(const ParticleSet<TR>& ions)
+  {
+    EwaldSum ewald(ions.lattice());
+    std::vector<double> q(ions.size());
+    for (int i = 0; i < ions.size(); ++i)
+      q[i] = ions.species(ions.group_id(i)).charge;
+    energy_ = ewald.energy(ions.R, q);
+  }
+
+  std::string name() const override { return "CoulombII"; }
+  double evaluate(ParticleSet<TR>&, TrialWaveFunction<TR>&) override { return energy_; }
+  std::unique_ptr<HamiltonianComponent<TR>> clone() const override
+  {
+    return std::make_unique<CoulombII<TR>>(*this);
+  }
+
+private:
+  double energy_;
+};
+
+template<typename TR>
+class CoulombEI : public HamiltonianComponent<TR>
+{
+public:
+  /// r_core per ion species (0 disables the core regularization, giving
+  /// the bare -Z/r of an all-electron calculation like Be-64).
+  CoulombEI(const ParticleSet<TR>& ions, std::vector<double> r_core)
+      : ewald_(std::make_shared<EwaldSum>(ions.lattice())),
+        ion_pos_(ions.R),
+        r_core_(std::move(r_core))
+  {
+    ion_charge_.resize(ions.size());
+    ion_species_.resize(ions.size());
+    for (int i = 0; i < ions.size(); ++i)
+    {
+      ion_charge_[i] = ions.species(ions.group_id(i)).charge;
+      ion_species_[i] = ions.group_id(i);
+    }
+    // Ions never move: their k-space structure factor is a constant.
+    ion_factors_ = std::make_shared<EwaldSum::FixedSetFactors>(
+        ewald_->precompute_fixed_set(ion_pos_, ion_charge_));
+  }
+
+  std::string name() const override { return "CoulombEI"; }
+
+  double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) override
+  {
+    (void)twf;
+    ScopedTimer timer(Kernel::Other);
+    if (elec_charge_.size() != p.R.size())
+      elec_charge_.assign(p.R.size(), -1.0);
+    double e = ewald_->interaction_energy_cached(p.R, elec_charge_, *ion_factors_);
+    // Short-range core correction: -Z/r -> -Z erf(r/rc)/r, i.e. add
+    // +Z erfc(r/rc)/r for electrons near the core (charge of electron
+    // is -1, so the pair term is -(-1) Z erfc/r).
+    const Lattice& lat = p.lattice();
+    for (std::size_t a = 0; a < ion_pos_.size(); ++a)
+    {
+      const double rc = r_core_[ion_species_[a]];
+      if (rc <= 0)
+        continue;
+      for (std::size_t i = 0; i < p.R.size(); ++i)
+      {
+        const double r = norm(lat.min_image(ion_pos_[a] - p.R[i]));
+        if (r < 6.0 * rc)
+          e += ion_charge_[a] * std::erfc(r / rc) / r;
+      }
+    }
+    return e;
+  }
+
+  std::unique_ptr<HamiltonianComponent<TR>> clone() const override
+  {
+    return std::make_unique<CoulombEI<TR>>(*this);
+  }
+
+private:
+  std::shared_ptr<EwaldSum> ewald_;
+  std::shared_ptr<EwaldSum::FixedSetFactors> ion_factors_; // shared read-only
+  std::vector<TinyVector<double, 3>> ion_pos_;
+  std::vector<double> ion_charge_;
+  std::vector<int> ion_species_;
+  std::vector<double> r_core_;
+  std::vector<double> elec_charge_;
+};
+
+} // namespace qmcxx
+
+#endif

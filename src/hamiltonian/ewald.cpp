@@ -1,0 +1,213 @@
+#include "hamiltonian/ewald.h"
+
+#include <cmath>
+#include <complex>
+
+namespace qmcxx
+{
+namespace
+{
+
+/// Per-particle tables of e^{i n (b_j . r)} for n in [-m_j, m_j], one
+/// axis at a time. Because every k-vector is an integer combination of
+/// the reciprocal rows, the structure factor for any k is a product of
+/// three table entries -- no trig calls in the k loop.
+struct PhaseTables
+{
+  // tab[axis][particle * (2*m+1) + (n + m)]
+  int m[3];
+  std::vector<std::complex<double>> tab[3];
+
+  void build(const std::array<TinyVector<double, 3>, 3>& b, const int mm[3],
+             const std::vector<TinyVector<double, 3>>& r)
+  {
+    const std::size_t n = r.size();
+    for (int axis = 0; axis < 3; ++axis)
+    {
+      m[axis] = mm[axis];
+      const int width = 2 * mm[axis] + 1;
+      tab[axis].resize(n * width);
+      for (std::size_t i = 0; i < n; ++i)
+      {
+        const double phase = dot(b[axis], r[i]);
+        const std::complex<double> step(std::cos(phase), std::sin(phase));
+        std::complex<double> cur(1.0, 0.0);
+        std::complex<double>* row = tab[axis].data() + i * width;
+        row[mm[axis]] = cur;
+        for (int p = 1; p <= mm[axis]; ++p)
+        {
+          cur *= step;
+          row[mm[axis] + p] = cur;
+          row[mm[axis] - p] = std::conj(cur);
+        }
+      }
+    }
+  }
+
+  std::complex<double> phase(std::size_t i, int n0, int n1, int n2) const
+  {
+    const int w0 = 2 * m[0] + 1, w1 = 2 * m[1] + 1, w2 = 2 * m[2] + 1;
+    return tab[0][i * w0 + (n0 + m[0])] * tab[1][i * w1 + (n1 + m[1])] *
+        tab[2][i * w2 + (n2 + m[2])];
+  }
+};
+
+} // namespace
+
+EwaldSum::EwaldSum(const Lattice& lattice, double tolerance) : lattice_(lattice)
+{
+  rcut_ = lattice.wigner_seitz_radius();
+  // Choose alpha so the real-space sum is converged at the Wigner-Seitz
+  // radius: erfc(a r) ~ exp(-(a r)^2) ~ tolerance.
+  const double log_tol = -std::log(tolerance);
+  alpha_ = std::sqrt(log_tol) / rcut_;
+  // Reciprocal cutoff: exp(-k^2 / 4 a^2) ~ tolerance.
+  const double kmax = 2.0 * alpha_ * std::sqrt(log_tol);
+
+  const auto& b = lattice.reciprocal_rows();
+  mmax_[0] = static_cast<int>(std::ceil(kmax / norm(b[0])));
+  mmax_[1] = static_cast<int>(std::ceil(kmax / norm(b[1])));
+  mmax_[2] = static_cast<int>(std::ceil(kmax / norm(b[2])));
+  const double two_pi_over_v = 2.0 * M_PI / lattice.volume();
+  for (int n0 = -mmax_[0]; n0 <= mmax_[0]; ++n0)
+    for (int n1 = -mmax_[1]; n1 <= mmax_[1]; ++n1)
+      for (int n2 = -mmax_[2]; n2 <= mmax_[2]; ++n2)
+      {
+        if (n0 == 0 && n1 == 0 && n2 == 0)
+          continue;
+        const Pos k = static_cast<double>(n0) * b[0] + static_cast<double>(n1) * b[1] +
+            static_cast<double>(n2) * b[2];
+        const double k2 = norm2(k);
+        if (k2 > kmax * kmax)
+          continue;
+        kindex_.push_back({n0, n1, n2});
+        kfac_.push_back(two_pi_over_v * std::exp(-k2 / (4.0 * alpha_ * alpha_)) / k2);
+      }
+}
+
+double EwaldSum::real_space_pair(const Pos& a, const Pos& b) const
+{
+  const double r = norm(lattice_.min_image(b - a));
+  if (r >= rcut_)
+    return 0.0;
+  return std::erfc(alpha_ * r) / r;
+}
+
+double EwaldSum::energy(const std::vector<Pos>& r, const std::vector<double>& q) const
+{
+  const std::size_t n = r.size();
+  double e_real = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      e_real += q[i] * q[j] * real_space_pair(r[i], r[j]);
+
+  PhaseTables tables;
+  tables.build(lattice_.reciprocal_rows(), mmax_, r);
+  double e_recip = 0.0;
+  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  {
+    std::complex<double> rho(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      rho += q[i] * tables.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
+    e_recip += kfac_[kk] * std::norm(rho);
+  }
+
+  double q_sum = 0.0, q2_sum = 0.0;
+  for (double qi : q)
+  {
+    q_sum += qi;
+    q2_sum += qi * qi;
+  }
+  const double e_self = alpha_ / std::sqrt(M_PI) * q2_sum;
+  const double e_background =
+      -M_PI / (2.0 * lattice_.volume() * alpha_ * alpha_) * q_sum * q_sum;
+  return e_real + e_recip - e_self + e_background;
+}
+
+EwaldSum::FixedSetFactors EwaldSum::precompute_fixed_set(const std::vector<Pos>& rb,
+                                                         const std::vector<double>& qb) const
+{
+  FixedSetFactors out;
+  out.positions = rb;
+  out.charges = qb;
+  for (double q : qb)
+    out.q_sum += q;
+  PhaseTables tb;
+  tb.build(lattice_.reciprocal_rows(), mmax_, rb);
+  out.rho_re.resize(kindex_.size());
+  out.rho_im.resize(kindex_.size());
+  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  {
+    std::complex<double> rho(0.0, 0.0);
+    for (std::size_t j = 0; j < rb.size(); ++j)
+      rho += qb[j] * tb.phase(j, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
+    out.rho_re[kk] = rho.real();
+    out.rho_im[kk] = rho.imag();
+  }
+  return out;
+}
+
+double EwaldSum::interaction_energy_cached(const std::vector<Pos>& ra,
+                                           const std::vector<double>& qa,
+                                           const FixedSetFactors& fixed) const
+{
+  double e_real = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    for (std::size_t j = 0; j < fixed.positions.size(); ++j)
+      e_real += qa[i] * fixed.charges[j] * real_space_pair(ra[i], fixed.positions[j]);
+
+  PhaseTables ta;
+  ta.build(lattice_.reciprocal_rows(), mmax_, ra);
+  double e_recip = 0.0;
+  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  {
+    std::complex<double> rho_a(0.0, 0.0);
+    for (std::size_t i = 0; i < ra.size(); ++i)
+      rho_a += qa[i] * ta.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
+    e_recip += kfac_[kk] * 2.0 *
+        (rho_a.real() * fixed.rho_re[kk] + rho_a.imag() * fixed.rho_im[kk]);
+  }
+
+  double qa_sum = 0.0;
+  for (double qi : qa)
+    qa_sum += qi;
+  const double e_background =
+      -M_PI / (lattice_.volume() * alpha_ * alpha_) * qa_sum * fixed.q_sum;
+  return e_real + e_recip + e_background;
+}
+
+double EwaldSum::interaction_energy(const std::vector<Pos>& ra, const std::vector<double>& qa,
+                                    const std::vector<Pos>& rb,
+                                    const std::vector<double>& qb) const
+{
+  double e_real = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    for (std::size_t j = 0; j < rb.size(); ++j)
+      e_real += qa[i] * qb[j] * real_space_pair(ra[i], rb[j]);
+
+  PhaseTables ta, tb;
+  ta.build(lattice_.reciprocal_rows(), mmax_, ra);
+  tb.build(lattice_.reciprocal_rows(), mmax_, rb);
+  double e_recip = 0.0;
+  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  {
+    std::complex<double> rho_a(0.0, 0.0), rho_b(0.0, 0.0);
+    for (std::size_t i = 0; i < ra.size(); ++i)
+      rho_a += qa[i] * ta.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
+    for (std::size_t j = 0; j < rb.size(); ++j)
+      rho_b += qb[j] * tb.phase(j, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
+    e_recip += kfac_[kk] * 2.0 *
+        (rho_a.real() * rho_b.real() + rho_a.imag() * rho_b.imag());
+  }
+
+  double qa_sum = 0.0, qb_sum = 0.0;
+  for (double qi : qa)
+    qa_sum += qi;
+  for (double qj : qb)
+    qb_sum += qj;
+  const double e_background =
+      -M_PI / (lattice_.volume() * alpha_ * alpha_) * qa_sum * qb_sum;
+  return e_real + e_recip + e_background;
+}
+
+} // namespace qmcxx

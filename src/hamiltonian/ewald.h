@@ -1,0 +1,72 @@
+// Ewald summation for periodic point-charge Coulomb interactions.
+//
+// The electron-electron and ion-ion Coulomb terms of the local energy
+// (paper Eq. 7) are conditionally convergent sums in periodic boundary
+// conditions; Ewald splits them into a short-range real-space part
+// (erfc-screened, minimum image) and a smooth reciprocal-space part,
+// plus self-interaction and neutralizing-background corrections.
+#ifndef QMCXX_HAMILTONIAN_EWALD_H
+#define QMCXX_HAMILTONIAN_EWALD_H
+
+#include <array>
+#include <vector>
+
+#include "containers/tiny_vector.h"
+#include "particle/lattice.h"
+
+namespace qmcxx
+{
+
+class EwaldSum
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  /// tolerance controls the truncation of both sums; the real-space
+  /// cutoff is the Wigner-Seitz radius so that only the nearest image
+  /// enters the erfc sum.
+  explicit EwaldSum(const Lattice& lattice, double tolerance = 1e-5);
+
+  double alpha() const { return alpha_; }
+  int num_kvectors() const { return static_cast<int>(kindex_.size()); }
+
+  /// Total Coulomb energy of charges q at positions r (same length).
+  double energy(const std::vector<Pos>& r, const std::vector<double>& q) const;
+
+  /// Cross-term energy between two charge sets (used for the
+  /// electron-ion interaction): E = sum_{i in A, j in B} q_i q_j v(r_ij)
+  /// with the same Ewald decomposition.
+  double interaction_energy(const std::vector<Pos>& ra, const std::vector<double>& qa,
+                            const std::vector<Pos>& rb, const std::vector<double>& qb) const;
+
+  /// Precomputed k-space structure factor of a *fixed* charge set (the
+  /// ions): rho_b[k] = sum_j q_j exp(i k . r_j), plus the total charge.
+  struct FixedSetFactors
+  {
+    std::vector<double> rho_re, rho_im;
+    double q_sum = 0.0;
+    std::vector<Pos> positions;
+    std::vector<double> charges;
+  };
+  FixedSetFactors precompute_fixed_set(const std::vector<Pos>& rb,
+                                       const std::vector<double>& qb) const;
+
+  /// interaction_energy with the B-set structure factor cached; only the
+  /// A-set (electron) phases are rebuilt per call.
+  double interaction_energy_cached(const std::vector<Pos>& ra, const std::vector<double>& qa,
+                                   const FixedSetFactors& fixed) const;
+
+private:
+  double real_space_pair(const Pos& a, const Pos& b) const;
+
+  Lattice lattice_;
+  double alpha_ = 1.0;
+  double rcut_ = 1.0;
+  int mmax_[3] = {0, 0, 0};                 ///< per-axis integer k range
+  std::vector<std::array<int, 3>> kindex_;  ///< integer k-vector indices
+  std::vector<double> kfac_; ///< 2 pi/V * exp(-k^2/4a^2)/k^2 per k-vector
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,9 @@
+#include "hamiltonian/hamiltonian.h"
+
+namespace qmcxx
+{
+template class Hamiltonian<float>;
+template class Hamiltonian<double>;
+template class KineticEnergy<float>;
+template class KineticEnergy<double>;
+} // namespace qmcxx

@@ -1,0 +1,90 @@
+// The many-body Hamiltonian and the local-energy measurement
+// E_L = H Psi_T / Psi_T (paper Eq. 7): kinetic term from the
+// wavefunction's gradient/laplacian accumulators, periodic Coulomb
+// interactions via Ewald summation, and the local + non-local
+// pseudopotential channels.
+#ifndef QMCXX_HAMILTONIAN_HAMILTONIAN_H
+#define QMCXX_HAMILTONIAN_HAMILTONIAN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "particle/particle_set.h"
+#include "wavefunction/trial_wavefunction.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class HamiltonianComponent
+{
+public:
+  virtual ~HamiltonianComponent() = default;
+  virtual std::string name() const = 0;
+  /// Contribution to E_L for the current configuration. The trial
+  /// wavefunction's evaluate_gl has already run when this is called.
+  virtual double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) = 0;
+  virtual std::unique_ptr<HamiltonianComponent<TR>> clone() const = 0;
+};
+
+/// Kinetic energy -1/2 sum_i (L_i + |G_i|^2) from the accumulators.
+template<typename TR>
+class KineticEnergy : public HamiltonianComponent<TR>
+{
+public:
+  std::string name() const override { return "Kinetic"; }
+  double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) override
+  {
+    (void)p;
+    return twf.kinetic_energy();
+  }
+  std::unique_ptr<HamiltonianComponent<TR>> clone() const override
+  {
+    return std::make_unique<KineticEnergy<TR>>();
+  }
+};
+
+template<typename TR>
+class Hamiltonian
+{
+public:
+  void add_component(std::unique_ptr<HamiltonianComponent<TR>> c)
+  {
+    components_.push_back(std::move(c));
+    last_values_.push_back(0.0);
+  }
+  int num_components() const { return static_cast<int>(components_.size()); }
+  const HamiltonianComponent<TR>& component(int i) const { return *components_[i]; }
+  double last_value(int i) const { return last_values_[i]; }
+
+  /// Local energy: refreshes the wavefunction G/L accumulators, then
+  /// sums all components. P must be update()d (measurement state).
+  double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf)
+  {
+    twf.evaluate_gl(p);
+    double el = 0.0;
+    for (std::size_t i = 0; i < components_.size(); ++i)
+    {
+      last_values_[i] = components_[i]->evaluate(p, twf);
+      el += last_values_[i];
+    }
+    return el;
+  }
+
+  std::unique_ptr<Hamiltonian<TR>> clone() const
+  {
+    auto h = std::make_unique<Hamiltonian<TR>>();
+    for (const auto& c : components_)
+      h->add_component(c->clone());
+    return h;
+  }
+
+private:
+  std::vector<std::unique_ptr<HamiltonianComponent<TR>>> components_;
+  std::vector<double> last_values_;
+};
+
+} // namespace qmcxx
+
+#endif

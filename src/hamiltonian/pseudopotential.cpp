@@ -1,0 +1,7 @@
+#include "hamiltonian/pseudopotential.h"
+
+namespace qmcxx
+{
+template class NonLocalPP<float>;
+template class NonLocalPP<double>;
+} // namespace qmcxx

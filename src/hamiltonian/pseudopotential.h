@@ -1,0 +1,109 @@
+// Non-local pseudopotential via angular quadrature (paper Sec. 3):
+//
+//   V_NL Psi / Psi = sum_I sum_{i: r_iI < rcut} v_l(r_iI) (2l+1)
+//                    sum_q w_q P_l(cos theta_q) Psi(..r_i -> r'_q..)/Psi
+//
+// Each quadrature point is a *virtual* particle move: the ratio
+// evaluations are value-only (Eq. 4) and drive the Bspline-v hot spot of
+// the paper's profiles. The synthetic radial channel v_l(r) =
+// a exp(-(r/w)^2) substitutes for the workloads' tabulated
+// norm-conserving channels (DESIGN.md).
+#ifndef QMCXX_HAMILTONIAN_PSEUDOPOTENTIAL_H
+#define QMCXX_HAMILTONIAN_PSEUDOPOTENTIAL_H
+
+#include <cmath>
+#include <memory>
+
+#include "hamiltonian/hamiltonian.h"
+#include "numerics/quadrature.h"
+#include "particle/distance_table.h"
+
+namespace qmcxx
+{
+
+/// One non-local channel for one ion species.
+struct NLChannel
+{
+  int l = 1;          ///< angular momentum of the projector
+  double amplitude = 0; ///< v_l(0) in hartree; 0 disables the channel
+  double width = 1.0;   ///< gaussian radial width (bohr)
+  double rcut = 1.0;    ///< interaction cutoff (bohr)
+
+  double radial(double r) const { return amplitude * std::exp(-(r * r) / (width * width)); }
+};
+
+template<typename TR>
+class NonLocalPP : public HamiltonianComponent<TR>
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  /// channels: one per ion species; table_index: the electron-ion AB
+  /// distance table inside the electron set.
+  NonLocalPP(const ParticleSet<TR>& ions, std::vector<NLChannel> channels, int table_index,
+             int quadrature_points = 12)
+      : channels_(std::move(channels)), table_index_(table_index),
+        quad_(make_spherical_quadrature(quadrature_points))
+  {
+    ion_species_.resize(ions.size());
+    for (int i = 0; i < ions.size(); ++i)
+      ion_species_[i] = ions.group_id(i);
+  }
+
+  std::string name() const override { return "NonLocalECP"; }
+
+  double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) override
+  {
+    auto& dt = p.table(table_index_);
+    const int nel = p.size();
+    const int nion = static_cast<int>(ion_species_.size());
+    double e_nl = 0.0;
+    for (int i = 0; i < nel; ++i)
+    {
+      for (int a = 0; a < nion; ++a)
+      {
+        const NLChannel& ch = channels_[ion_species_[a]];
+        if (ch.amplitude == 0.0)
+          continue;
+        const double r = static_cast<double>(dt.dist(i, a));
+        if (r >= ch.rcut)
+          continue;
+        // Displacement from electron towards the (nearest image) ion.
+        const TinyVector<TR, 3> d = dt.displ(i, a);
+        const Pos to_ion{static_cast<double>(d[0]), static_cast<double>(d[1]),
+                         static_cast<double>(d[2])};
+        const Pos e_hat = (-1.0 / r) * to_ion; // unit vector ion -> electron
+        const double v_r = ch.radial(r);
+        double angular = 0.0;
+        for (int q = 0; q < quad_.size(); ++q)
+        {
+          const Pos& n_q = quad_.points[q];
+          const double cos_theta = dot(e_hat, n_q);
+          // Virtual move: same radius r, new direction n_q about the ion.
+          const Pos r_new = p.R[i] + to_ion + r * n_q;
+          p.make_move(i, r_new);
+          const double ratio = twf.calc_ratio(p, i);
+          p.reject_move(i);
+          angular += quad_.weights[q] * legendre_p(ch.l, cos_theta) * ratio;
+        }
+        e_nl += v_r * (2 * ch.l + 1) * angular;
+      }
+    }
+    return e_nl;
+  }
+
+  std::unique_ptr<HamiltonianComponent<TR>> clone() const override
+  {
+    return std::make_unique<NonLocalPP<TR>>(*this);
+  }
+
+private:
+  std::vector<NLChannel> channels_;
+  int table_index_;
+  SphericalQuadrature quad_;
+  std::vector<int> ion_species_;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,26 @@
+#include "instrument/energy_model.h"
+
+#include <cmath>
+
+namespace qmcxx
+{
+
+std::vector<PowerSample> EnergyModel::trace(double init_seconds, double run_seconds,
+                                            double interval) const
+{
+  std::vector<PowerSample> out;
+  const double total = init_seconds + run_seconds;
+  for (double t = 0.0; t <= total + 1e-9; t += interval)
+  {
+    double w;
+    if (t < init_seconds)
+      w = init_watts_ + 0.5 * fluctuation_ * std::sin(0.9 * t);
+    else
+      // Flat plateau with the measured +-2.5 W ripple (Fig. 10).
+      w = compute_watts_ + fluctuation_ * std::sin(0.7 * t) * std::cos(0.13 * t);
+    out.push_back({t, w});
+  }
+  return out;
+}
+
+} // namespace qmcxx

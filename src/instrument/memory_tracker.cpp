@@ -1,0 +1,69 @@
+#include "instrument/memory_tracker.h"
+
+namespace qmcxx
+{
+
+MemoryTracker& MemoryTracker::instance()
+{
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::allocate(std::size_t bytes) noexcept
+{
+  const std::size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t prev_peak = peak_.load(std::memory_order_relaxed);
+  while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now, std::memory_order_relaxed))
+  {
+  }
+}
+
+void MemoryTracker::deallocate(std::size_t bytes) noexcept
+{
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::resetPeak() noexcept
+{
+  peak_.store(current_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+void MemoryTracker::pushTag(const std::string& tag)
+{
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  tag_stack_.push_back({tag, current()});
+}
+
+void MemoryTracker::popTag()
+{
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  if (tag_stack_.empty())
+    return;
+  const TagFrame frame = tag_stack_.back();
+  tag_stack_.pop_back();
+  const std::size_t now = current();
+  const std::size_t grown = now > frame.bytes_at_push ? now - frame.bytes_at_push : 0;
+  tagged_[frame.name] += grown;
+}
+
+std::size_t MemoryTracker::taggedBytes(const std::string& tag) const
+{
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  auto it = tagged_.find(tag);
+  return it == tagged_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::size_t>> MemoryTracker::taggedReport() const
+{
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  return {tagged_.begin(), tagged_.end()};
+}
+
+void MemoryTracker::clearTags()
+{
+  std::lock_guard<std::mutex> lock(tag_mutex_);
+  tag_stack_.clear();
+  tagged_.clear();
+}
+
+} // namespace qmcxx

@@ -1,0 +1,72 @@
+// Global memory tracker backing the paper's memory-footprint experiments.
+//
+// The paper reports per-node memory usage (Fig. 8 bottom, Fig. 9) and the
+// O(N^2) growth law  gamma * (Nth + Nw) * N^2  of the Ref implementation
+// (Sec. 8.2). Every aligned_vector allocation is accounted here, and
+// scoped tags let benches attribute usage to subsystems (walker buffers,
+// distance tables, spline table, ...).
+#ifndef QMCXX_INSTRUMENT_MEMORY_TRACKER_H
+#define QMCXX_INSTRUMENT_MEMORY_TRACKER_H
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qmcxx
+{
+
+/// Process-wide allocation accounting (thread-safe).
+class MemoryTracker
+{
+public:
+  static MemoryTracker& instance();
+
+  void allocate(std::size_t bytes) noexcept;
+  void deallocate(std::size_t bytes) noexcept;
+
+  /// Bytes currently allocated through tracked allocators.
+  std::size_t current() const noexcept { return current_.load(std::memory_order_relaxed); }
+  /// High-water mark since construction or last resetPeak().
+  std::size_t peak() const noexcept { return peak_.load(std::memory_order_relaxed); }
+  void resetPeak() noexcept;
+
+  /// Begin attributing net new allocations to a named tag.
+  void pushTag(const std::string& tag);
+  /// Stop attributing; records (current - bytes at push) under the tag.
+  void popTag();
+  /// Net bytes recorded under a tag (0 if unknown).
+  std::size_t taggedBytes(const std::string& tag) const;
+  std::vector<std::pair<std::string, std::size_t>> taggedReport() const;
+  void clearTags();
+
+private:
+  MemoryTracker() = default;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> peak_{0};
+
+  mutable std::mutex tag_mutex_;
+  struct TagFrame
+  {
+    std::string name;
+    std::size_t bytes_at_push;
+  };
+  std::vector<TagFrame> tag_stack_;
+  std::map<std::string, std::size_t> tagged_;
+};
+
+/// RAII helper: attribute allocations in a scope to a tag.
+class MemoryScope
+{
+public:
+  explicit MemoryScope(const std::string& tag) { MemoryTracker::instance().pushTag(tag); }
+  ~MemoryScope() { MemoryTracker::instance().popTag(); }
+  MemoryScope(const MemoryScope&) = delete;
+  MemoryScope& operator=(const MemoryScope&) = delete;
+};
+
+} // namespace qmcxx
+
+#endif

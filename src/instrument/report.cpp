@@ -1,0 +1,76 @@
+#include "instrument/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qmcxx
+{
+
+std::string format_bytes(std::size_t bytes)
+{
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9)
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / (1024.0 * 1024.0 * 1024.0));
+  else if (b >= 1e6)
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / (1024.0 * 1024.0));
+  else if (b >= 1e3)
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / 1024.0);
+  else
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  return buf;
+}
+
+std::string fmt(double v, int precision)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void print_table(const std::vector<std::vector<std::string>>& rows, int indent)
+{
+  if (rows.empty())
+    return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows)
+  {
+    if (widths.size() < row.size())
+      widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r)
+  {
+    std::printf("%*s", indent, "");
+    for (std::size_t c = 0; c < rows[r].size(); ++c)
+      std::printf("%-*s  ", static_cast<int>(widths[c]), rows[r][c].c_str());
+    std::printf("\n");
+    if (r == 0)
+    {
+      std::printf("%*s", indent, "");
+      for (std::size_t c = 0; c < widths.size(); ++c)
+        std::printf("%s  ", std::string(widths[c], '-').c_str());
+      std::printf("\n");
+    }
+  }
+}
+
+void print_profile(const std::string& title, const KernelTotals& totals, double scale)
+{
+  const double total = totals.total();
+  std::printf("  %s (total %.3f s)\n", title.c_str(), total);
+  if (total <= 0)
+    return;
+  for (int k = 0; k < static_cast<int>(Kernel::kCount); ++k)
+  {
+    const double frac = totals.seconds[k] / total;
+    const double scaled = frac * scale;
+    const int bar = static_cast<int>(scaled * 50 + 0.5);
+    std::printf("    %-11s %6.1f%%  %s\n", kernel_name(static_cast<Kernel>(k)), 100.0 * scaled,
+                std::string(std::min(bar, 70), '#').c_str());
+  }
+}
+
+} // namespace qmcxx

@@ -1,0 +1,31 @@
+// Console reporting helpers shared by the benchmark binaries: aligned
+// tables, normalized hot-spot profiles (paper Fig. 2/7 style), byte
+// formatting and ASCII bars.
+#ifndef QMCXX_INSTRUMENT_REPORT_H
+#define QMCXX_INSTRUMENT_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "instrument/timer.h"
+
+namespace qmcxx
+{
+
+/// "1.3 GB", "22.5 MB", ...
+std::string format_bytes(std::size_t bytes);
+
+/// Fixed-width table: first row is the header; column widths adapt.
+void print_table(const std::vector<std::vector<std::string>>& rows, int indent = 2);
+
+/// Normalized hot-spot profile with ASCII bars. `scale` rescales the
+/// fractions (Fig. 2 scales the faster profile by the speedup so bars
+/// are comparable across configurations).
+void print_profile(const std::string& title, const KernelTotals& totals, double scale = 1.0);
+
+/// One formatted number.
+std::string fmt(double v, int precision = 2);
+
+} // namespace qmcxx
+
+#endif

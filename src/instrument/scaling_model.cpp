@@ -1,0 +1,38 @@
+#include "instrument/scaling_model.h"
+
+#include <cmath>
+
+namespace qmcxx
+{
+
+std::vector<ScalingPoint> project_strong_scaling(double per_walker_step_s,
+                                                 std::size_t walker_bytes, long total_population,
+                                                 const std::vector<int>& node_counts,
+                                                 const ScalingParams& params)
+{
+  std::vector<ScalingPoint> out;
+  double base_throughput_per_node = 0.0;
+  for (std::size_t idx = 0; idx < node_counts.size(); ++idx)
+  {
+    const int nodes = node_counts[idx];
+    const double walkers_per_node = static_cast<double>(total_population) / nodes;
+    const double t_compute = walkers_per_node * per_walker_step_s / params.node_cores *
+        (1.0 + params.imbalance_coeff / std::sqrt(walkers_per_node));
+    const double t_allreduce = params.allreduce_alpha_s * std::log2(static_cast<double>(nodes));
+    const double t_migrate = walkers_per_node * params.migration_fraction *
+        static_cast<double>(walker_bytes) / params.network_bw;
+    const double t_step = t_compute + t_allreduce + t_migrate + params.node_overhead_s;
+
+    ScalingPoint pt;
+    pt.nodes = nodes;
+    pt.step_seconds = t_step;
+    pt.throughput = static_cast<double>(total_population) / t_step;
+    if (idx == 0)
+      base_throughput_per_node = pt.throughput / nodes;
+    pt.efficiency = pt.throughput / (base_throughput_per_node * nodes);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+} // namespace qmcxx

@@ -1,0 +1,68 @@
+#include "instrument/timer.h"
+
+namespace qmcxx
+{
+
+const char* kernel_name(Kernel k)
+{
+  switch (k)
+  {
+  case Kernel::DistTable: return "DistTable";
+  case Kernel::J1: return "J1";
+  case Kernel::J2: return "J2";
+  case Kernel::BsplineV: return "Bspline-v";
+  case Kernel::BsplineVGH: return "Bspline-vgh";
+  case Kernel::SPOvgl: return "SPO-vgl";
+  case Kernel::DetRatio: return "DetRatio";
+  case Kernel::DetUpdate: return "DetUpdate";
+  case Kernel::Other: return "Other";
+  default: return "?";
+  }
+}
+
+TimerRegistry& TimerRegistry::instance()
+{
+  static TimerRegistry registry;
+  return registry;
+}
+
+TimerRegistry::ThreadSlot& TimerRegistry::local_slot()
+{
+  thread_local ThreadSlot* slot = nullptr;
+  if (!slot)
+  {
+    slot = new ThreadSlot(); // owned by the registry's slot list
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.push_back(slot);
+  }
+  return *slot;
+}
+
+void TimerRegistry::add(Kernel k, double seconds)
+{
+  ThreadSlot& slot = local_slot();
+  slot.totals.seconds[static_cast<int>(k)] += seconds;
+  slot.totals.calls[static_cast<int>(k)] += 1;
+}
+
+KernelTotals TimerRegistry::snapshot() const
+{
+  std::lock_guard<std::mutex> lock(mutex_);
+  KernelTotals merged;
+  for (const ThreadSlot* slot : slots_)
+    for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i)
+    {
+      merged.seconds[i] += slot->totals.seconds[i];
+      merged.calls[i] += slot->totals.calls[i];
+    }
+  return merged;
+}
+
+void TimerRegistry::reset()
+{
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ThreadSlot* slot : slots_)
+    slot->totals = KernelTotals{};
+}
+
+} // namespace qmcxx

@@ -1,0 +1,108 @@
+// Hot-spot timers backing the paper's profile figures.
+//
+// The paper's analysis (Fig. 2, Fig. 7) decomposes runtime into the
+// kernels DistTable, J1, J2, Bspline-v, Bspline-vgh, SPO-vgl, DetUpdate
+// and Other. qmcxx instruments exactly those buckets with low-overhead
+// scoped timers; per-thread accumulation avoids contention in the
+// OpenMP walker loop and the registry merges on report.
+#ifndef QMCXX_INSTRUMENT_TIMER_H
+#define QMCXX_INSTRUMENT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qmcxx
+{
+
+/// The fixed kernel taxonomy of the paper's profiles.
+enum class Kernel : int
+{
+  DistTable = 0,
+  J1,
+  J2,
+  BsplineV,
+  BsplineVGH,
+  SPOvgl,
+  DetRatio,
+  DetUpdate,
+  Other,
+  kCount
+};
+
+const char* kernel_name(Kernel k);
+
+struct KernelTotals
+{
+  double seconds[static_cast<int>(Kernel::kCount)] = {};
+  std::uint64_t calls[static_cast<int>(Kernel::kCount)] = {};
+
+  double total() const
+  {
+    double s = 0;
+    for (double v : seconds)
+      s += v;
+    return s;
+  }
+};
+
+/// Process-wide registry; accumulation is thread-local, reads merge.
+class TimerRegistry
+{
+public:
+  static TimerRegistry& instance();
+
+  /// Enable/disable globally (disabled timers cost one branch).
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void add(Kernel k, double seconds);
+  KernelTotals snapshot() const;
+  void reset();
+
+private:
+  TimerRegistry() = default;
+  struct ThreadSlot
+  {
+    KernelTotals totals;
+  };
+  ThreadSlot& local_slot();
+
+  bool enabled_ = true;
+  mutable std::mutex mutex_;
+  std::vector<ThreadSlot*> slots_;
+};
+
+/// RAII scope: accumulates wall time into a kernel bucket.
+class ScopedTimer
+{
+public:
+  explicit ScopedTimer(Kernel k) : kernel_(k), active_(TimerRegistry::instance().enabled())
+  {
+    if (active_)
+      start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer()
+  {
+    if (active_)
+    {
+      const auto end = std::chrono::steady_clock::now();
+      TimerRegistry::instance().add(kernel_,
+                                    std::chrono::duration<double>(end - start_).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  Kernel kernel_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,91 @@
+// Spherical quadrature rules for the non-local pseudopotential.
+//
+// The paper (Sec. 3): "The non-local pseudopotential operator V_NL is
+// handled by approximating an angular integral by a quadrature on a
+// spherical shell surrounding each ion." These rules integrate low-order
+// spherical harmonics exactly; QMCPACK uses the same tetrahedron /
+// octahedron / icosahedron point sets.
+#ifndef QMCXX_NUMERICS_QUADRATURE_H
+#define QMCXX_NUMERICS_QUADRATURE_H
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "containers/tiny_vector.h"
+
+namespace qmcxx
+{
+
+/// Unit-sphere quadrature: sum_q w_q f(n_q) approximates
+/// (1/4pi) Integral f dOmega, with sum of weights equal to 1.
+struct SphericalQuadrature
+{
+  std::vector<TinyVector<double, 3>> points; ///< unit direction vectors
+  std::vector<double> weights;               ///< normalized to sum to 1
+
+  int size() const { return static_cast<int>(points.size()); }
+};
+
+/// Build an npoints-rule; supported sizes: 4 (tetrahedron, exact to l=2),
+/// 6 (octahedron, exact to l=3), 12 (icosahedron, exact to l=5).
+inline SphericalQuadrature make_spherical_quadrature(int npoints)
+{
+  SphericalQuadrature q;
+  switch (npoints)
+  {
+  case 4: {
+    const double a = 1.0 / std::sqrt(3.0);
+    q.points = {{a, a, a}, {a, -a, -a}, {-a, a, -a}, {-a, -a, a}};
+    q.weights.assign(4, 0.25);
+    break;
+  }
+  case 6: {
+    q.points = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+    q.weights.assign(6, 1.0 / 6.0);
+    break;
+  }
+  case 12: {
+    // Icosahedron vertices: cyclic permutations of (0, ±1, ±phi)/norm.
+    const double phi = 0.5 * (1.0 + std::sqrt(5.0));
+    const double nrm = std::sqrt(1.0 + phi * phi);
+    const double a = 1.0 / nrm;
+    const double b = phi / nrm;
+    q.points = {{0, a, b},  {0, a, -b},  {0, -a, b},  {0, -a, -b},
+                {a, b, 0},  {a, -b, 0},  {-a, b, 0},  {-a, -b, 0},
+                {b, 0, a},  {-b, 0, a},  {b, 0, -a},  {-b, 0, -a}};
+    q.weights.assign(12, 1.0 / 12.0);
+    break;
+  }
+  default:
+    throw std::invalid_argument("make_spherical_quadrature: unsupported rule size");
+  }
+  return q;
+}
+
+/// Legendre polynomial P_l(x) for the angular projectors (l <= 3).
+inline double legendre_p(int l, double x)
+{
+  switch (l)
+  {
+  case 0: return 1.0;
+  case 1: return x;
+  case 2: return 0.5 * (3.0 * x * x - 1.0);
+  case 3: return 0.5 * (5.0 * x * x * x - 3.0 * x);
+  default: {
+    // Upward recurrence for completeness.
+    double p0 = 1.0, p1 = x;
+    for (int k = 2; k <= l; ++k)
+    {
+      const double p2 = ((2 * k - 1) * x * p1 - (k - 1) * p0) / k;
+      p0 = p1;
+      p1 = p2;
+    }
+    return p1;
+  }
+  }
+}
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,99 @@
+// Random number generation for the Monte Carlo drivers.
+//
+// A self-contained xoshiro256** generator plus Box-Muller Gaussians.
+// Determinism matters here beyond reproducibility of tests: the paper's
+// Ref/Ref+MP/Current comparisons run the *same* Markov chain through
+// different kernel implementations, so qmcxx guarantees identical random
+// streams given identical seeds regardless of engine variant.
+#ifndef QMCXX_NUMERICS_RNG_H
+#define QMCXX_NUMERICS_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "containers/tiny_vector.h"
+
+namespace qmcxx
+{
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm),
+/// reimplemented here; period 2^256 - 1, passes BigCrush.
+class RandomGenerator
+{
+public:
+  explicit RandomGenerator(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { this->seed(seed); }
+
+  void seed(std::uint64_t s)
+  {
+    // SplitMix64 expansion of the scalar seed into the 4-word state.
+    for (auto& w : state_)
+    {
+      s += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+    have_gauss_ = false;
+  }
+
+  std::uint64_t next()
+  {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (pairs cached).
+  double gaussian()
+  {
+    if (have_gauss_)
+    {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1, u2;
+    do
+    {
+      u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    have_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// 3D vector of independent standard normals (the diffusion kick).
+  TinyVector<double, 3> gaussian3()
+  {
+    return {gaussian(), gaussian(), gaussian()};
+  }
+
+  /// Integer in [0, n).
+  std::uint64_t range(std::uint64_t n) { return next() % n; }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4]{};
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+} // namespace qmcxx
+
+#endif

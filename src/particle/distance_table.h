@@ -1,0 +1,93 @@
+// Distance tables: the nearest-neighbor machinery of the PbyP update.
+//
+// "As a particle-based method, managing the distance tables ... is
+// critical for efficiency" (paper Sec. 7.4). Two relation kinds exist:
+//   AA -- symmetric electron-electron relations
+//   AB -- electron-ion relations (fixed sources)
+// and two layouts implement each:
+//   Aos*  -- the Ref implementation (Fig. 6a): packed upper triangle for
+//            AA, AoS TinyVector displacement storage, scalar loops.
+//   Soa*  -- the Current implementation (Fig. 6b): full N x Np padded
+//            rows on SoA storage, forward update or compute-on-the-fly.
+//
+// Protocol per particle move k (Alg. 1 L4-L10):
+//   prepare_move(P, k)  -- compute-on-the-fly hook: refresh row k from
+//                          current positions (no-op for other modes)
+//   move(P, rnew, k)    -- fill the temporary row vs. the proposed rnew
+//   update(k)           -- commit the temporary row on acceptance
+//   evaluate(P)         -- full O(N^2) refresh at measurement time
+#ifndef QMCXX_PARTICLE_DISTANCE_TABLE_H
+#define QMCXX_PARTICLE_DISTANCE_TABLE_H
+
+#include <memory>
+#include <string>
+
+#include "containers/aligned_allocator.h"
+#include "containers/tiny_vector.h"
+#include "containers/vector_soa.h"
+#include "particle/lattice.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class ParticleSet;
+
+/// Update policy for the SoA AA table (paper Fig. 6b and Sec. 7.5).
+enum class DTUpdateMode
+{
+  ForwardUpdate, ///< accept copies temp row + strided column for k' > k
+  OnTheFly       ///< row k recomputed in prepare_move; no column update
+};
+
+template<typename TR>
+class DistanceTable
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  DistanceTable(const Lattice& lattice, int num_targets, int num_sources)
+      : lattice_(lattice), num_targets_(num_targets), num_sources_(num_sources)
+  {
+    temp_r_.resize(getAlignedSize<TR>(num_sources), TR(0));
+  }
+  virtual ~DistanceTable() = default;
+
+  int num_targets() const { return num_targets_; }
+  int num_sources() const { return num_sources_; }
+
+  virtual void evaluate(ParticleSet<TR>& p) = 0;
+  virtual void prepare_move(ParticleSet<TR>& p, int k)
+  {
+    (void)p;
+    (void)k;
+  }
+  virtual void move(const ParticleSet<TR>& p, const Pos& rnew, int k) = 0;
+  virtual void update(int k) = 0;
+
+  /// Distance between target i and source j from committed state.
+  /// (Bulk kernels use the concrete classes' row accessors instead.)
+  virtual TR dist(int i, int j) const = 0;
+  virtual TinyVector<TR, 3> displ(int i, int j) const = 0;
+
+  /// Fresh table of the same kind/layout for a per-thread ParticleSet
+  /// clone (paper Fig. 4: per-thread compute objects). State is not
+  /// copied; the clone is filled by the next evaluate().
+  virtual std::unique_ptr<DistanceTable<TR>> clone() const = 0;
+
+  /// Temporary distances of the proposed position vs. all sources.
+  const TR* temp_r() const { return temp_r_.data(); }
+
+  /// Bytes of committed-table storage (for the memory experiments).
+  virtual std::size_t storage_bytes() const = 0;
+
+protected:
+  Lattice lattice_; // by value: tables outlive any caller-owned lattice
+  int num_targets_;
+  int num_sources_;
+  aligned_vector<TR> temp_r_;
+};
+
+} // namespace qmcxx
+
+#endif

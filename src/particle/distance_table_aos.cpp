@@ -1,0 +1,9 @@
+#include "particle/distance_table_aos.h"
+
+namespace qmcxx
+{
+template class AosDistanceTableAA<float>;
+template class AosDistanceTableAA<double>;
+template class AosDistanceTableAB<float>;
+template class AosDistanceTableAB<double>;
+} // namespace qmcxx

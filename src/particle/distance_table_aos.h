@@ -1,0 +1,209 @@
+// Reference (AoS) distance tables -- paper Fig. 6a.
+//
+// The AA table stores the upper triangle in packed storage (N(N-1)/2
+// scalars) and AoS TinyVector displacements; updates copy the temporary
+// row into the triangle (N copies, partly strided). Distance kernels
+// walk arrays of TinyVector positions, the scalar access pattern the
+// paper identifies as the obstacle to compiler auto-vectorization.
+#ifndef QMCXX_PARTICLE_DISTANCE_TABLE_AOS_H
+#define QMCXX_PARTICLE_DISTANCE_TABLE_AOS_H
+
+#include <vector>
+
+#include "instrument/timer.h"
+#include "particle/distance_table.h"
+#include "particle/particle_set.h"
+
+namespace qmcxx
+{
+
+/// Distance sentinel for the self pair: outside every cutoff.
+template<typename TR>
+inline constexpr TR DT_BIG_R = TR(1e10);
+
+/// Symmetric electron-electron table, packed-triangle storage.
+template<typename TR>
+class AosDistanceTableAA : public DistanceTable<TR>
+{
+public:
+  using Base = DistanceTable<TR>;
+  using Pos = typename Base::Pos;
+  using DisplRow = std::vector<TinyVector<TR, 3>>;
+
+  AosDistanceTableAA(const Lattice& lattice, int n)
+      : Base(lattice, n, n),
+        utri_(static_cast<std::size_t>(n) * (n - 1) / 2, TR(0)),
+        utri_dr_(static_cast<std::size_t>(n) * (n - 1) / 2),
+        temp_dr_(n)
+  {}
+
+  std::unique_ptr<DistanceTable<TR>> clone() const override
+  {
+    return std::make_unique<AosDistanceTableAA<TR>>(this->lattice_, this->num_targets_);
+  }
+
+  void evaluate(ParticleSet<TR>& p) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    const int n = this->num_targets_;
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+      {
+        const Pos dr = this->lattice_.min_image(p.R[j] - p.R[i]);
+        utri_dr_[loc(i, j)] = TinyVector<TR, 3>(dr);
+        utri_[loc(i, j)] = static_cast<TR>(norm(dr));
+      }
+  }
+
+  void move(const ParticleSet<TR>& p, const Pos& rnew, int k) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    const int n = this->num_targets_;
+    // Deliberately scalar AoS loop: one TinyVector at a time.
+    for (int j = 0; j < n; ++j)
+    {
+      if (j == k)
+      {
+        this->temp_r_[j] = DT_BIG_R<TR>;
+        temp_dr_[j] = TinyVector<TR, 3>{};
+        continue;
+      }
+      const Pos dr = this->lattice_.min_image(p.R[j] - rnew);
+      temp_dr_[j] = TinyVector<TR, 3>(dr);
+      this->temp_r_[j] = static_cast<TR>(norm(dr));
+    }
+  }
+
+  void update(int k) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    // Copy the temporary row into the packed triangle: entries (i,k) for
+    // i < k are strided, entries (k,j) for j > k are contiguous.
+    for (int i = 0; i < k; ++i)
+    {
+      utri_[loc(i, k)] = this->temp_r_[i];
+      utri_dr_[loc(i, k)] = -temp_dr_[i];
+    }
+    for (int j = k + 1; j < this->num_targets_; ++j)
+    {
+      utri_[loc(k, j)] = this->temp_r_[j];
+      utri_dr_[loc(k, j)] = temp_dr_[j];
+    }
+  }
+
+  TR dist(int i, int j) const override
+  {
+    if (i == j)
+      return DT_BIG_R<TR>;
+    return i < j ? utri_[loc(i, j)] : utri_[loc(j, i)];
+  }
+
+  TinyVector<TR, 3> displ(int i, int j) const override
+  {
+    if (i == j)
+      return TinyVector<TR, 3>{};
+    return i < j ? utri_dr_[loc(i, j)] : -utri_dr_[loc(j, i)];
+  }
+
+  /// Temporary AoS displacements of the proposed move (from rnew to j).
+  const DisplRow& temp_dr() const { return temp_dr_; }
+
+  std::size_t storage_bytes() const override
+  {
+    return utri_.size() * sizeof(TR) + utri_dr_.size() * sizeof(TinyVector<TR, 3>);
+  }
+
+private:
+  /// Packed location of pair (i,j) with i < j.
+  std::size_t loc(int i, int j) const
+  {
+    const std::size_t n = this->num_targets_;
+    return static_cast<std::size_t>(i) * (n - 1) - static_cast<std::size_t>(i) * (i - 1) / 2 +
+        (j - i - 1);
+  }
+
+  std::vector<TR> utri_;
+  std::vector<TinyVector<TR, 3>> utri_dr_;
+  DisplRow temp_dr_;
+};
+
+/// Electron-ion table (fixed sources), AoS row storage.
+template<typename TR>
+class AosDistanceTableAB : public DistanceTable<TR>
+{
+public:
+  using Base = DistanceTable<TR>;
+  using Pos = typename Base::Pos;
+  using DisplRow = std::vector<TinyVector<TR, 3>>;
+
+  AosDistanceTableAB(const Lattice& lattice, const ParticleSet<TR>& source, int num_targets)
+      : Base(lattice, num_targets, source.size()),
+        source_(&source),
+        d_(num_targets, std::vector<TR>(source.size(), TR(0))),
+        dr_(num_targets, DisplRow(source.size())),
+        temp_dr_(source.size())
+  {}
+
+  std::unique_ptr<DistanceTable<TR>> clone() const override
+  {
+    return std::make_unique<AosDistanceTableAB<TR>>(this->lattice_, *source_, this->num_targets_);
+  }
+
+  void evaluate(ParticleSet<TR>& p) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    for (int i = 0; i < this->num_targets_; ++i)
+      compute_row(p.R[i], d_[i].data(), dr_[i]);
+  }
+
+  void move(const ParticleSet<TR>& p, const Pos& rnew, int k) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    (void)p;
+    (void)k;
+    compute_row(rnew, this->temp_r_.data(), temp_dr_);
+  }
+
+  void update(int k) override
+  {
+    ScopedTimer dt_timer(Kernel::DistTable);
+    for (int j = 0; j < this->num_sources_; ++j)
+    {
+      d_[k][j] = this->temp_r_[j];
+      dr_[k][j] = temp_dr_[j];
+    }
+  }
+
+  TR dist(int i, int j) const override { return d_[i][j]; }
+  TinyVector<TR, 3> displ(int i, int j) const override { return dr_[i][j]; }
+  const DisplRow& row_dr(int i) const { return dr_[i]; }
+  const std::vector<TR>& row_d(int i) const { return d_[i]; }
+  const DisplRow& temp_dr() const { return temp_dr_; }
+
+  std::size_t storage_bytes() const override
+  {
+    const std::size_t per_row =
+        this->num_sources_ * (sizeof(TR) + sizeof(TinyVector<TR, 3>));
+    return per_row * this->num_targets_;
+  }
+
+private:
+  void compute_row(const Pos& r, TR* d_row, DisplRow& dr_row) const
+  {
+    for (int j = 0; j < this->num_sources_; ++j)
+    {
+      const Pos dr = this->lattice_.min_image(source_->R[j] - r);
+      dr_row[j] = TinyVector<TR, 3>(dr);
+      d_row[j] = static_cast<TR>(norm(dr));
+    }
+  }
+
+  const ParticleSet<TR>* source_;
+  std::vector<std::vector<TR>> d_;
+  std::vector<DisplRow> dr_;
+  DisplRow temp_dr_;
+};
+
+} // namespace qmcxx
+
+#endif

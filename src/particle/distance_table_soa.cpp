@@ -1,0 +1,9 @@
+#include "particle/distance_table_soa.h"
+
+namespace qmcxx
+{
+template class SoaDistanceTableAA<float>;
+template class SoaDistanceTableAA<double>;
+template class SoaDistanceTableAB<float>;
+template class SoaDistanceTableAB<double>;
+} // namespace qmcxx

@@ -1,0 +1,121 @@
+#include "particle/lattice.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace qmcxx
+{
+
+Lattice::Lattice() : Lattice({Pos{1, 0, 0}, Pos{0, 1, 0}, Pos{0, 0, 1}}) {}
+
+Lattice::Lattice(const std::array<Pos, 3>& cell_rows) : a_(cell_rows) { finalize(); }
+
+Lattice Lattice::cubic(double a) { return Lattice({Pos{a, 0, 0}, Pos{0, a, 0}, Pos{0, 0, a}}); }
+
+Lattice Lattice::hexagonal(double a, double c)
+{
+  const double s = std::sqrt(3.0) / 2.0;
+  return Lattice({Pos{a, 0, 0}, Pos{-0.5 * a, s * a, 0}, Pos{0, 0, c}});
+}
+
+void Lattice::finalize()
+{
+  const Pos& a0 = a_[0];
+  const Pos& a1 = a_[1];
+  const Pos& a2 = a_[2];
+  volume_ = std::abs(dot(a0, cross(a1, a2)));
+  if (volume_ <= 0 || !std::isfinite(volume_))
+    throw std::invalid_argument("Lattice: degenerate cell");
+
+  // With r = sum_j u_j a_j, the reduced coordinates are
+  // u_i = (c_i . r) / det where c_0 = a1 x a2 (cyclic). Store the rows
+  // c_i / det so to_unit is three dot products.
+  const double det = dot(a0, cross(a1, a2));
+  const Pos c0 = cross(a1, a2);
+  const Pos c1 = cross(a2, a0);
+  const Pos c2 = cross(a0, a1);
+  ainv_[0] = (1.0 / det) * c0;
+  ainv_[1] = (1.0 / det) * c1;
+  ainv_[2] = (1.0 / det) * c2;
+
+  const double twopi = 2.0 * M_PI;
+  b2pi_[0] = (twopi / det) * c0;
+  b2pi_[1] = (twopi / det) * c1;
+  b2pi_[2] = (twopi / det) * c2;
+
+  // Orthorhombic iff all off-diagonal entries vanish.
+  ortho_ = true;
+  for (unsigned i = 0; i < 3; ++i)
+    for (unsigned j = 0; j < 3; ++j)
+      if (i != j && std::abs(a_[i][j]) > 1e-12 * std::cbrt(volume_))
+        ortho_ = false;
+
+  // Wigner-Seitz radius: half the shortest nonzero lattice translation
+  // within one shell of images (sufficient for the cells used here).
+  double rmin2 = std::numeric_limits<double>::max();
+  for (int i = -1; i <= 1; ++i)
+    for (int j = -1; j <= 1; ++j)
+      for (int k = -1; k <= 1; ++k)
+      {
+        if (i == 0 && j == 0 && k == 0)
+          continue;
+        const Pos t = static_cast<double>(i) * a0 + static_cast<double>(j) * a1 +
+            static_cast<double>(k) * a2;
+        rmin2 = std::min(rmin2, norm2(t));
+      }
+  rwigner_ = 0.5 * std::sqrt(rmin2);
+}
+
+Lattice::Pos Lattice::to_unit(const Pos& cart) const
+{
+  return Pos{dot(ainv_[0], cart), dot(ainv_[1], cart), dot(ainv_[2], cart)};
+}
+
+Lattice::Pos Lattice::to_cart(const Pos& unit) const
+{
+  return unit[0] * a_[0] + unit[1] * a_[1] + unit[2] * a_[2];
+}
+
+Lattice::Pos Lattice::to_unit_folded(const Pos& cart) const
+{
+  Pos u = to_unit(cart);
+  for (unsigned d = 0; d < 3; ++d)
+  {
+    u[d] -= std::floor(u[d]);
+    if (u[d] >= 1.0) // guard against -1e-18 folding to 1.0
+      u[d] = 0.0;
+  }
+  return u;
+}
+
+Lattice::Pos Lattice::min_image(const Pos& dr) const
+{
+  Pos u = to_unit(dr);
+  for (unsigned d = 0; d < 3; ++d)
+    u[d] -= std::round(u[d]);
+  Pos best = to_cart(u);
+  if (ortho_)
+    return best;
+  // Skewed cell: the wrapped image is not always the shortest; search
+  // the surrounding shell of images.
+  double best2 = norm2(best);
+  for (int i = -1; i <= 1; ++i)
+    for (int j = -1; j <= 1; ++j)
+      for (int k = -1; k <= 1; ++k)
+      {
+        if (i == 0 && j == 0 && k == 0)
+          continue;
+        const Pos cand = best + static_cast<double>(i) * a_[0] + static_cast<double>(j) * a_[1] +
+            static_cast<double>(k) * a_[2];
+        const double c2 = norm2(cand);
+        if (c2 < best2)
+        {
+          best2 = c2;
+          best = cand;
+        }
+      }
+  return best;
+}
+
+} // namespace qmcxx

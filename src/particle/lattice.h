@@ -1,0 +1,67 @@
+// Periodic simulation cell with minimum-image convention.
+//
+// All four paper workloads are periodic supercells (Table 1): graphite
+// and Be-64 use hexagonal cells, the NiO supercells are cubic. The
+// lattice converts between Cartesian and reduced coordinates, applies
+// the minimum-image convention (fast component-wise wrap for
+// orthorhombic cells, 27-image search for skewed cells), and exposes the
+// Wigner-Seitz radius that bounds the Jastrow cutoffs.
+#ifndef QMCXX_PARTICLE_LATTICE_H
+#define QMCXX_PARTICLE_LATTICE_H
+
+#include <array>
+
+#include "containers/tiny_vector.h"
+
+namespace qmcxx
+{
+
+class Lattice
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  Lattice();
+  /// Rows are the lattice vectors a1, a2, a3 (Cartesian, bohr).
+  explicit Lattice(const std::array<Pos, 3>& cell_rows);
+
+  static Lattice cubic(double a);
+  /// Hexagonal cell: a1 = (a,0,0), a2 = (-a/2, a*sqrt(3)/2, 0), a3 = (0,0,c).
+  static Lattice hexagonal(double a, double c);
+
+  const std::array<Pos, 3>& rows() const { return a_; }
+  double volume() const { return volume_; }
+  bool orthorhombic() const { return ortho_; }
+  /// Radius of the largest sphere inscribed in the Wigner-Seitz cell:
+  /// the maximum safe cutoff for minimum-image pair interactions.
+  double wigner_seitz_radius() const { return rwigner_; }
+
+  /// Cartesian -> reduced coordinates (unbounded).
+  Pos to_unit(const Pos& cart) const;
+  /// Reduced -> Cartesian.
+  Pos to_cart(const Pos& unit) const;
+  /// Reduced coordinates folded into [0,1)^3.
+  Pos to_unit_folded(const Pos& cart) const;
+
+  /// Minimum-image displacement: returns the shortest periodic image of
+  /// the Cartesian displacement dr.
+  Pos min_image(const Pos& dr) const;
+
+  /// Reciprocal-lattice vectors b_i (rows), satisfying a_i . b_j =
+  /// 2 pi delta_ij; used by the Ewald sum.
+  const std::array<Pos, 3>& reciprocal_rows() const { return b2pi_; }
+
+private:
+  void finalize();
+
+  std::array<Pos, 3> a_;    // lattice vectors (rows)
+  std::array<Pos, 3> ainv_; // rows c_i/det so that u_i = dot(ainv_[i], r)
+  std::array<Pos, 3> b2pi_; // reciprocal vectors including 2 pi
+  double volume_ = 0;
+  double rwigner_ = 0;
+  bool ortho_ = false;
+};
+
+} // namespace qmcxx
+
+#endif

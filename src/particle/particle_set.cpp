@@ -1,0 +1,7 @@
+#include "particle/particle_set.h"
+
+namespace qmcxx
+{
+template class ParticleSet<float>;
+template class ParticleSet<double>;
+} // namespace qmcxx

@@ -1,0 +1,188 @@
+// ParticleSet: positions plus their derived relation tables.
+//
+// Faithful to the paper's Fig. 4/5 abstraction: the AoS positions R are
+// the source of truth the physics layer sees; the complementary SoA
+// mirror Rsoa feeds the vectorized kernels; distance tables hang off the
+// set and are driven through the makeMove / acceptMove / rejectMove
+// protocol of the PbyP update. The template parameter TR is the compute
+// (table) precision: double for Ref, float under mixed precision.
+#ifndef QMCXX_PARTICLE_PARTICLE_SET_H
+#define QMCXX_PARTICLE_PARTICLE_SET_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containers/tiny_vector.h"
+#include "containers/vector_soa.h"
+#include "particle/distance_table.h"
+#include "particle/lattice.h"
+#include "particle/walker.h"
+
+namespace qmcxx
+{
+
+struct SpeciesInfo
+{
+  std::string name;
+  double charge = 0.0; ///< valence charge Z* (paper Table 1)
+};
+
+template<typename TR>
+class ParticleSet
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  ParticleSet(std::string name, const Lattice& lattice) : name_(std::move(name)), lattice_(lattice)
+  {}
+
+  // ---- composition ---------------------------------------------------
+  int add_species(const std::string& sname, double charge)
+  {
+    species_.push_back({sname, charge});
+    return static_cast<int>(species_.size()) - 1;
+  }
+
+  /// Allocate counts[s] particles per species, grouped contiguously.
+  void create(const std::vector<int>& counts)
+  {
+    assert(counts.size() == species_.size());
+    int total = 0;
+    group_first_.clear();
+    group_last_.clear();
+    for (int c : counts)
+    {
+      group_first_.push_back(total);
+      total += c;
+      group_last_.push_back(total);
+    }
+    R.assign(total, Pos{});
+    Rsoa.resize(total);
+    group_id_.resize(total);
+    for (std::size_t g = 0; g < counts.size(); ++g)
+      for (int i = group_first_[g]; i < group_last_[g]; ++i)
+        group_id_[i] = static_cast<int>(g);
+  }
+
+  const std::string& name() const { return name_; }
+  const Lattice& lattice() const { return lattice_; }
+  int size() const { return static_cast<int>(R.size()); }
+  int num_species() const { return static_cast<int>(species_.size()); }
+  int group_id(int i) const { return group_id_[i]; }
+  int first(int group) const { return group_first_[group]; }
+  int last(int group) const { return group_last_[group]; }
+  const SpeciesInfo& species(int g) const { return species_[g]; }
+
+  // ---- state ----------------------------------------------------------
+  std::vector<Pos> R;              ///< AoS positions (paper Fig. 4)
+  VectorSoaContainer<TR, 3> Rsoa;  ///< SoA mirror (paper Fig. 5)
+
+  /// Refresh Rsoa and all distance tables from R (measurement state).
+  void update()
+  {
+    Rsoa = R;
+    for (auto& dt : tables_)
+      dt->evaluate(*this);
+  }
+
+  // ---- distance tables -------------------------------------------------
+  int add_table(std::unique_ptr<DistanceTable<TR>> table)
+  {
+    tables_.push_back(std::move(table));
+    return static_cast<int>(tables_.size()) - 1;
+  }
+  DistanceTable<TR>& table(int i) { return *tables_[i]; }
+  const DistanceTable<TR>& table(int i) const { return *tables_[i]; }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  /// Deep copy for per-thread compute objects (paper Fig. 4,
+  /// "Particles E_th(E)"): same species layout, positions and table
+  /// kinds; table state is refreshed on the next update().
+  std::unique_ptr<ParticleSet<TR>> clone() const
+  {
+    auto c = std::make_unique<ParticleSet<TR>>(name_, lattice_);
+    c->species_ = species_;
+    c->group_id_ = group_id_;
+    c->group_first_ = group_first_;
+    c->group_last_ = group_last_;
+    c->R = R;
+    c->Rsoa = R;
+    for (const auto& dt : tables_)
+      c->tables_.push_back(dt->clone());
+    return c;
+  }
+
+  template<typename DT>
+  DT& table_as(int i)
+  {
+    DT* t = dynamic_cast<DT*>(tables_[i].get());
+    assert(t != nullptr && "distance table layout does not match engine variant");
+    return *t;
+  }
+
+  // ---- PbyP move protocol ----------------------------------------------
+  /// Compute-on-the-fly hook, called once before proposing a move of k.
+  void prepare_move(int k)
+  {
+    for (auto& dt : tables_)
+      dt->prepare_move(*this, k);
+  }
+
+  /// Propose moving particle k to newpos: fills all temporary rows.
+  void make_move(int k, const Pos& newpos)
+  {
+    active_ = k;
+    active_pos_ = newpos;
+    for (auto& dt : tables_)
+      dt->move(*this, newpos, k);
+  }
+
+  void accept_move(int k)
+  {
+    assert(k == active_);
+    R[k] = active_pos_;
+    Rsoa.assign(k, active_pos_); // the "6 floats" update of Sec. 7.3
+    for (auto& dt : tables_)
+      dt->update(k);
+    active_ = -1;
+  }
+
+  void reject_move(int k)
+  {
+    assert(k == active_);
+    (void)k;
+    active_ = -1;
+  }
+
+  int active() const { return active_; }
+  const Pos& active_pos() const { return active_pos_; }
+
+  // ---- walker interaction ------------------------------------------------
+  /// Copy a walker's configuration in (paper Fig. 4 loadWalker); callers
+  /// decide whether tables need evaluate() or are restored from buffer.
+  void load_walker(const Walker& w)
+  {
+    assert(static_cast<int>(w.R.size()) == size());
+    R = w.R;
+    Rsoa = R;
+  }
+
+  void store_walker(Walker& w) const { w.R = R; }
+
+private:
+  std::string name_;
+  Lattice lattice_;
+  std::vector<SpeciesInfo> species_;
+  std::vector<int> group_id_;
+  std::vector<int> group_first_;
+  std::vector<int> group_last_;
+  std::vector<std::unique_ptr<DistanceTable<TR>>> tables_;
+  int active_ = -1;
+  Pos active_pos_{};
+};
+
+} // namespace qmcxx
+
+#endif

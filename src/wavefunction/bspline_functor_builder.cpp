@@ -1,0 +1,100 @@
+#include "numerics/spline_builder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "containers/matrix.h"
+#include "numerics/linalg.h"
+
+namespace qmcxx
+{
+namespace
+{
+
+/// Solve the (small, dense) interpolation system for the free B-spline
+/// coefficients c[0..M-1]; c[M], c[M+1], c[M+2] are pinned to zero so the
+/// functor vanishes smoothly at the cutoff.
+///
+/// Equations: u(x_i) = f_i for knots i = 0..M-2 using
+///   u(x_i) = (c[i] + 4 c[i+1] + c[i+2]) / 6
+/// plus the cusp condition u'(0) = (c[2] - c[0]) / (2 delta) = df0.
+aligned_vector<double> solve_coefs(const std::vector<double>& f_knots, double df0, double delta)
+{
+  const int m = static_cast<int>(f_knots.size()) - 1; // segments
+  if (m < 4)
+    throw std::invalid_argument("build_bspline_functor: need at least 4 segments");
+  Matrix<double> a(m, m);
+  std::vector<double> b(m, 0.0);
+  // Interpolation rows for knots 0..M-2.
+  for (int i = 0; i <= m - 2; ++i)
+  {
+    for (int k = 0; k < 3; ++k)
+    {
+      const int col = i + k;
+      if (col < m)
+        a(i, col) = (k == 1) ? 4.0 / 6.0 : 1.0 / 6.0;
+    }
+    b[i] = f_knots[i];
+  }
+  // Cusp row.
+  a(m - 1, 0) = -1.0 / (2.0 * delta);
+  a(m - 1, 2) = 1.0 / (2.0 * delta);
+  b[m - 1] = df0;
+
+  Matrix<double> ainv;
+  double logdet, sign;
+  linalg::invert_matrix(a, ainv, logdet, sign);
+  aligned_vector<double> c(m + 3, 0.0);
+  for (int i = 0; i < m; ++i)
+  {
+    double s = 0.0;
+    for (int j = 0; j < m; ++j)
+      s += ainv(i, j) * b[j];
+    c[i] = s;
+  }
+  return c;
+}
+
+} // namespace
+
+template<typename T>
+CubicBsplineFunctor<T> build_bspline_functor(const std::function<double(double)>& f, double df0,
+                                             double rcut, int num_knots)
+{
+  const int m = num_knots;
+  const double delta = rcut / m;
+  std::vector<double> f_knots(m + 1);
+  for (int i = 0; i <= m; ++i)
+    f_knots[i] = f(i * delta);
+  const aligned_vector<double> cd = solve_coefs(f_knots, df0, delta);
+  aligned_vector<T> c(cd.size());
+  for (std::size_t i = 0; i < cd.size(); ++i)
+    c[i] = static_cast<T>(cd[i]);
+  return CubicBsplineFunctor<T>(static_cast<T>(rcut), std::move(c));
+}
+
+template CubicBsplineFunctor<float> build_bspline_functor<float>(
+    const std::function<double(double)>&, double, double, int);
+template CubicBsplineFunctor<double> build_bspline_functor<double>(
+    const std::function<double(double)>&, double, double, int);
+
+std::function<double(double)> ee_jastrow_shape(double cusp, double rcut)
+{
+  // u(r) = -cusp * F * (exp(-r/F) - exp(-rcut/F)), F chosen so the
+  // correlation hole spans about a third of the cutoff. u'(0) = cusp and
+  // u(rcut) = 0.
+  const double f_len = rcut / 3.0;
+  const double tail = std::exp(-rcut / f_len);
+  return [=](double r) { return -cusp * f_len * (std::exp(-r / f_len) - tail); };
+}
+
+std::function<double(double)> ei_jastrow_shape(double depth, double width, double rcut)
+{
+  // Gaussian well, shifted to vanish at the cutoff; zero slope at r = 0
+  // (electron-ion cusp is absorbed by the pseudopotential, as in the
+  // paper's workloads).
+  const double tail = depth * std::exp(-(rcut * rcut) / (width * width));
+  return [=](double r) { return depth * std::exp(-(r * r) / (width * width)) - tail; };
+}
+
+} // namespace qmcxx

@@ -1,0 +1,9 @@
+#include "wavefunction/delayed_update.h"
+
+namespace qmcxx
+{
+template class DelayedUpdateEngine<float>;
+template class DelayedUpdateEngine<double>;
+template class DiracDeterminantDelayed<float>;
+template class DiracDeterminantDelayed<double>;
+} // namespace qmcxx

@@ -1,0 +1,7 @@
+#include "wavefunction/dirac_determinant.h"
+
+namespace qmcxx
+{
+template class DiracDeterminant<float>;
+template class DiracDeterminant<double>;
+} // namespace qmcxx

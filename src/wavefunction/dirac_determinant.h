@@ -1,0 +1,325 @@
+// Slater determinant component D = det|A|, A(i,j) = phi_j(r_i).
+//
+// Ratios use the matrix determinant lemma (paper Eq. 6): a dot product
+// of the k-th row of A^-1 with the new orbital vector. Accepted moves
+// update A^-1 with the Sherman-Morrison formula (the "DetUpdate" kernel,
+// BLAS2: one gemv + one ger). The inverse is stored *transposed*
+// (minv_(i,j) = (A^-1)(j,i)) so both the ratio and the gradient dots are
+// unit-stride row traversals.
+//
+// Mixed precision (paper Sec. 7.2): the inverse and the stored orbital
+// derivative matrices live in TR; evaluate_log / recompute rebuild the
+// inverse from scratch in double so accumulated single-precision drift
+// is periodically repaired.
+#ifndef QMCXX_WAVEFUNCTION_DIRAC_DETERMINANT_H
+#define QMCXX_WAVEFUNCTION_DIRAC_DETERMINANT_H
+
+#include <cmath>
+#include <memory>
+
+#include "containers/matrix.h"
+#include "instrument/timer.h"
+#include "numerics/linalg.h"
+#include "wavefunction/spo_set.h"
+#include "wavefunction/wavefunction_component.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class DiracDeterminant : public WaveFunctionComponent<TR>
+{
+public:
+  using typename WaveFunctionComponent<TR>::Grad;
+  using Pos = TinyVector<double, 3>;
+
+  /// Electrons [first, first+nel) of the ParticleSet belong to this
+  /// determinant; the SPO set must provide at least nel orbitals.
+  DiracDeterminant(std::shared_ptr<SPOSet<TR>> spos, int first, int nel)
+      : spos_(std::move(spos)), first_(first), nel_(nel)
+  {
+    minv_.resize(nel, nel, /*pad_rows=*/true);
+    dpsim_x_.resize(nel, nel, true);
+    dpsim_y_.resize(nel, nel, true);
+    dpsim_z_.resize(nel, nel, true);
+    d2psim_.resize(nel, nel, true);
+    const std::size_t np = getAlignedSize<TR>(nel);
+    psiv_.assign(np, TR(0));
+    d2psiv_.assign(np, TR(0));
+    dpsiv_.resize(nel);
+    workv_.assign(np, TR(0));
+    rcopy_.assign(np, TR(0));
+  }
+
+  std::string name() const override { return "DiracDeterminant"; }
+
+  std::unique_ptr<WaveFunctionComponent<TR>> clone() const override
+  {
+    // Shares the read-only SPO set (the paper's shared B-spline table);
+    // private matrices are freshly allocated.
+    return std::make_unique<DiracDeterminant<TR>>(spos_, first_, nel_);
+  }
+
+  int first() const { return first_; }
+  int size() const { return nel_; }
+  double phase_sign() const { return sign_; }
+  std::uint64_t accepted_updates() const { return updates_since_recompute_; }
+
+  double evaluate_log(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
+  {
+    recompute(p);
+    evaluate_gl(p, g, l);
+    return this->log_value_;
+  }
+
+  /// Rebuild psiM / derivative matrices and invert in double precision
+  /// (the mixed-precision "recompute from scratch", Sec. 7.2).
+  void recompute(ParticleSet<TR>& p)
+  {
+    Matrix<double> a(nel_, nel_);
+    for (int i = 0; i < nel_; ++i)
+    {
+      spos_->evaluate_vgl(p.R[first_ + i], psiv_.data(), dpsiv_, d2psiv_.data());
+      for (int j = 0; j < nel_; ++j)
+        a(i, j) = static_cast<double>(psiv_[j]);
+      copy_derivative_rows(i);
+    }
+    Matrix<double> ainv;
+    double logdet = 0, sign = 1;
+    linalg::invert_matrix(a, ainv, logdet, sign);
+    for (int i = 0; i < nel_; ++i)
+      for (int j = 0; j < nel_; ++j)
+        minv_(i, j) = static_cast<TR>(ainv(j, i)); // transposed storage
+    this->log_value_ = logdet;
+    sign_ = sign;
+    updates_since_recompute_ = 0;
+  }
+
+  /// True when particle k belongs to this determinant's spin block.
+  bool owns(int k) const { return k >= first_ && k < first_ + nel_; }
+
+  double ratio(ParticleSet<TR>& p, int k) override
+  {
+    if (!owns(k))
+      return 1.0; // moves of the other spin leave this determinant fixed
+    const int kl = k - first_;
+    spos_->evaluate_v(p.active_pos(), psiv_.data());
+    ScopedTimer timer(Kernel::DetRatio);
+    cur_ratio_ = static_cast<double>(linalg::dot_n(psiv_.data(), minv_.row(kl),
+                                                   static_cast<std::size_t>(nel_)));
+    cur_vgl_valid_ = false;
+    return cur_ratio_;
+  }
+
+  double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) override
+  {
+    if (!owns(k))
+    {
+      grad = Grad{};
+      return 1.0;
+    }
+    const int kl = k - first_;
+    spos_->evaluate_vgl(p.active_pos(), psiv_.data(), dpsiv_, d2psiv_.data());
+    ScopedTimer timer(Kernel::DetRatio);
+    const TR* __restrict row = minv_.row(kl);
+    TR rat = 0, gx = 0, gy = 0, gz = 0;
+    const TR* __restrict pv = psiv_.data();
+    const TR* __restrict dvx = dpsiv_.data(0);
+    const TR* __restrict dvy = dpsiv_.data(1);
+    const TR* __restrict dvz = dpsiv_.data(2);
+#pragma omp simd reduction(+ : rat, gx, gy, gz)
+    for (int j = 0; j < nel_; ++j)
+    {
+      rat += pv[j] * row[j];
+      gx += dvx[j] * row[j];
+      gy += dvy[j] * row[j];
+      gz += dvz[j] * row[j];
+    }
+    cur_ratio_ = static_cast<double>(rat);
+    cur_vgl_valid_ = true;
+    if (cur_ratio_ != 0.0 && std::isfinite(cur_ratio_))
+    {
+      const double inv_ratio = 1.0 / cur_ratio_;
+      grad = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
+                  static_cast<double>(gz) * inv_ratio};
+    }
+    else
+    {
+      grad = Grad{}; // node touch: the driver rejects ratio <= 0 moves
+    }
+    return cur_ratio_;
+  }
+
+  Grad eval_grad(ParticleSet<TR>& p, int k) override
+  {
+    (void)p;
+    if (!owns(k))
+      return Grad{};
+    const int kl = k - first_;
+    const TR* __restrict row = minv_.row(kl);
+    TR gx = 0, gy = 0, gz = 0;
+    const TR* __restrict dvx = dpsim_x_.row(kl);
+    const TR* __restrict dvy = dpsim_y_.row(kl);
+    const TR* __restrict dvz = dpsim_z_.row(kl);
+#pragma omp simd reduction(+ : gx, gy, gz)
+    for (int j = 0; j < nel_; ++j)
+    {
+      gx += dvx[j] * row[j];
+      gy += dvy[j] * row[j];
+      gz += dvz[j] * row[j];
+    }
+    return Grad{static_cast<double>(gx), static_cast<double>(gy), static_cast<double>(gz)};
+  }
+
+  void accept_move(ParticleSet<TR>& p, int k) override
+  {
+    if (!owns(k))
+      return;
+    const int kl = k - first_;
+    if (!cur_vgl_valid_)
+    {
+      // ratio() path accepted: refresh derivative rows for the new
+      // position before the inverse update.
+      spos_->evaluate_vgl(p.active_pos(), psiv_.data(), dpsiv_, d2psiv_.data());
+    }
+    {
+      ScopedTimer timer(Kernel::DetUpdate);
+      sherman_morrison_row_update(kl);
+    }
+    copy_derivative_rows(kl);
+    this->log_value_ += std::log(std::abs(cur_ratio_));
+    if (cur_ratio_ < 0)
+      sign_ = -sign_;
+    ++updates_since_recompute_;
+    cur_vgl_valid_ = false;
+  }
+
+  void reject_move(int) override { cur_vgl_valid_ = false; }
+
+  void evaluate_gl(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
+  {
+    (void)p;
+    ScopedTimer timer(Kernel::Other);
+    for (int i = 0; i < nel_; ++i)
+    {
+      const TR* __restrict row = minv_.row(i);
+      const TR* __restrict dvx = dpsim_x_.row(i);
+      const TR* __restrict dvy = dpsim_y_.row(i);
+      const TR* __restrict dvz = dpsim_z_.row(i);
+      const TR* __restrict d2v = d2psim_.row(i);
+      TR gx = 0, gy = 0, gz = 0, lap = 0;
+#pragma omp simd reduction(+ : gx, gy, gz, lap)
+      for (int j = 0; j < nel_; ++j)
+      {
+        gx += dvx[j] * row[j];
+        gy += dvy[j] * row[j];
+        gz += dvz[j] * row[j];
+        lap += d2v[j] * row[j];
+      }
+      const double gxd = gx, gyd = gy, gzd = gz;
+      g[first_ + i] += Grad{gxd, gyd, gzd};
+      l[first_ + i] += static_cast<double>(lap) - (gxd * gxd + gyd * gyd + gzd * gzd);
+    }
+  }
+
+  void register_data(PooledBuffer& buf) override
+  {
+    buf.template reserve<TR>(5 * minv_.rows() * minv_.stride());
+    buf.template reserve<double>(2);
+  }
+
+  void update_buffer(PooledBuffer& buf) override
+  {
+    const std::size_t count = minv_.rows() * minv_.stride();
+    buf.put(minv_.data(), count);
+    buf.put(dpsim_x_.data(), count);
+    buf.put(dpsim_y_.data(), count);
+    buf.put(dpsim_z_.data(), count);
+    buf.put(d2psim_.data(), count);
+    buf.put(this->log_value_);
+    buf.put(sign_);
+  }
+
+  void copy_from_buffer(ParticleSet<TR>& p, PooledBuffer& buf) override
+  {
+    (void)p;
+    const std::size_t count = minv_.rows() * minv_.stride();
+    buf.get(minv_.data(), count);
+    buf.get(dpsim_x_.data(), count);
+    buf.get(dpsim_y_.data(), count);
+    buf.get(dpsim_z_.data(), count);
+    buf.get(d2psim_.data(), count);
+    buf.get(this->log_value_);
+    buf.get(sign_);
+  }
+
+  /// Direct access for tests and the delayed-update comparison.
+  const Matrix<TR>& inverse_transposed() const { return minv_; }
+  Matrix<TR>& inverse_transposed() { return minv_; }
+
+protected:
+  void copy_derivative_rows(int kl)
+  {
+    TR* __restrict dx = dpsim_x_.row(kl);
+    TR* __restrict dy = dpsim_y_.row(kl);
+    TR* __restrict dz = dpsim_z_.row(kl);
+    TR* __restrict d2 = d2psim_.row(kl);
+    const TR* __restrict svx = dpsiv_.data(0);
+    const TR* __restrict svy = dpsiv_.data(1);
+    const TR* __restrict svz = dpsiv_.data(2);
+#pragma omp simd
+    for (int j = 0; j < nel_; ++j)
+    {
+      dx[j] = svx[j];
+      dy[j] = svy[j];
+      dz[j] = svz[j];
+      d2[j] = d2psiv_[j];
+    }
+  }
+
+  /// Rank-1 inverse update after replacing row kl of A with psiv_.
+  /// In transposed storage: minv(j,l) -= (t_j - delta_{j,kl})/rho * rcopy_l
+  /// where t = minv . psiv and rcopy is the old row kl of minv.
+  void sherman_morrison_row_update(int kl)
+  {
+    const TR c_ratio = TR(1) / static_cast<TR>(cur_ratio_);
+    const std::size_t stride = minv_.stride();
+    const TR* __restrict pv = psiv_.data();
+    // t = minv . psiv (gemv over rows).
+    for (int j = 0; j < nel_; ++j)
+      workv_[j] = linalg::dot_n(minv_.row(j), pv, static_cast<std::size_t>(nel_));
+    workv_[kl] -= TR(1);
+    // Save old row kl, then rank-1 update (ger).
+    const TR* __restrict mk = minv_.row(kl);
+#pragma omp simd
+    for (int j = 0; j < nel_; ++j)
+      rcopy_[j] = mk[j];
+    TR* __restrict m = minv_.data();
+    for (int j = 0; j < nel_; ++j)
+    {
+      const TR coef = workv_[j] * c_ratio;
+      TR* __restrict mj = m + j * stride;
+      const TR* __restrict rc = rcopy_.data();
+#pragma omp simd
+      for (int l = 0; l < nel_; ++l)
+        mj[l] -= coef * rc[l];
+    }
+  }
+
+  std::shared_ptr<SPOSet<TR>> spos_;
+  int first_;
+  int nel_;
+  Matrix<TR> minv_;                       // (A^-1)^T
+  Matrix<TR> dpsim_x_, dpsim_y_, dpsim_z_; // orbital gradients at electrons
+  Matrix<TR> d2psim_;                      // orbital laplacians at electrons
+  aligned_vector<TR> psiv_, d2psiv_, workv_, rcopy_;
+  VectorSoaContainer<TR, 3> dpsiv_;
+  double cur_ratio_ = 1.0;
+  bool cur_vgl_valid_ = false;
+  double sign_ = 1.0;
+  std::uint64_t updates_since_recompute_ = 0;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,9 @@
+#include "wavefunction/jastrow_one_body.h"
+
+namespace qmcxx
+{
+template class OneBodyJastrowRef<float>;
+template class OneBodyJastrowRef<double>;
+template class OneBodyJastrowCurrent<float>;
+template class OneBodyJastrowCurrent<double>;
+} // namespace qmcxx

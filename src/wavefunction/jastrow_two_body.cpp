@@ -1,0 +1,9 @@
+#include "wavefunction/jastrow_two_body.h"
+
+namespace qmcxx
+{
+template class TwoBodyJastrowRef<float>;
+template class TwoBodyJastrowRef<double>;
+template class TwoBodyJastrowCurrent<float>;
+template class TwoBodyJastrowCurrent<double>;
+} // namespace qmcxx

@@ -1,0 +1,122 @@
+#include "wavefunction/spo_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "numerics/rng.h"
+
+namespace qmcxx
+{
+namespace
+{
+
+/// Integer k-vectors sorted by |k|^2 then lexicographically: the
+/// plane-wave "band filling" order that guarantees linearly independent,
+/// smooth synthetic orbitals.
+std::vector<TinyVector<int, 3>> lowest_kvectors(int count)
+{
+  std::vector<TinyVector<int, 3>> ks;
+  int shell = 1;
+  while (static_cast<int>(ks.size()) < 2 * count)
+  {
+    ks.clear();
+    for (int i = -shell; i <= shell; ++i)
+      for (int j = -shell; j <= shell; ++j)
+        for (int k = -shell; k <= shell; ++k)
+        {
+          // Keep one of each +/-k pair (cos/sin of -k duplicate +k).
+          if (i < 0 || (i == 0 && j < 0) || (i == 0 && j == 0 && k < 0))
+            continue;
+          ks.push_back({i, j, k});
+        }
+    std::sort(ks.begin(), ks.end(), [](const auto& a, const auto& b) {
+      const int na = a[0] * a[0] + a[1] * a[1] + a[2] * a[2];
+      const int nb = b[0] * b[0] + b[1] * b[1] + b[2] * b[2];
+      if (na != nb)
+        return na < nb;
+      return std::lexicographical_compare(&a[0], &a[0] + 3, &b[0], &b[0] + 3);
+    });
+    ++shell;
+  }
+  ks.resize(count);
+  return ks;
+}
+
+} // namespace
+
+template<typename TR, typename Backend>
+void fill_synthetic_orbitals(Backend& backend, int nx, int ny, int nz, int num_orbitals,
+                             std::uint64_t seed)
+{
+  backend.resize(nx, ny, nz, num_orbitals);
+  const auto kvecs = lowest_kvectors(num_orbitals + 1);
+  std::vector<double> grid(static_cast<std::size_t>(nx) * ny * nz);
+  auto at = [&](int ix, int iy, int iz) -> double& {
+    return grid[(static_cast<std::size_t>(ix) * ny + iy) * nz + iz];
+  };
+
+  for (int s = 0; s < num_orbitals; ++s)
+  {
+    RandomGenerator rng(seed + 1000003ull * static_cast<std::uint64_t>(s));
+    // Primary mode: cos for even s, sin for odd s on the s-th k-vector
+    // (skipping k = 0 for the sin branch would give a null orbital, so
+    // the constant mode is used only by s = 0).
+    const auto kp = kvecs[(s + 1) / 2];
+    const bool use_sin = (s % 2 == 1);
+    // Two weak random satellite modes keep orbitals anharmonic.
+    const auto k1 = kvecs[1 + static_cast<int>(rng.range(kvecs.size() - 1))];
+    const auto k2 = kvecs[1 + static_cast<int>(rng.range(kvecs.size() - 1))];
+    const double a1 = 0.2 * (rng.uniform() - 0.5);
+    const double a2 = 0.2 * (rng.uniform() - 0.5);
+    const double p1 = rng.uniform(0, 2 * M_PI);
+    const double p2 = rng.uniform(0, 2 * M_PI);
+
+    const double twopi = 2.0 * M_PI;
+    for (int ix = 0; ix < nx; ++ix)
+      for (int iy = 0; iy < ny; ++iy)
+        for (int iz = 0; iz < nz; ++iz)
+        {
+          const double ux = static_cast<double>(ix) / nx;
+          const double uy = static_cast<double>(iy) / ny;
+          const double uz = static_cast<double>(iz) / nz;
+          const double ph = twopi * (kp[0] * ux + kp[1] * uy + kp[2] * uz);
+          double v = use_sin ? std::sin(ph) : std::cos(ph);
+          v += a1 * std::cos(twopi * (k1[0] * ux + k1[1] * uy + k1[2] * uz) + p1);
+          v += a2 * std::cos(twopi * (k2[0] * ux + k2[1] * uy + k2[2] * uz) + p2);
+          at(ix, iy, iz) = v;
+        }
+
+    // Periodic prefilter along z, y, x, then commit coefficients.
+    for (int ix = 0; ix < nx; ++ix)
+      for (int iy = 0; iy < ny; ++iy)
+        solve_periodic_spline(&at(ix, iy, 0), nz, 1);
+    for (int ix = 0; ix < nx; ++ix)
+      for (int iz = 0; iz < nz; ++iz)
+        solve_periodic_spline(&at(ix, 0, iz), ny, nz);
+    for (int iy = 0; iy < ny; ++iy)
+      for (int iz = 0; iz < nz; ++iz)
+        solve_periodic_spline(&at(0, iy, iz), nx, static_cast<std::ptrdiff_t>(ny) * nz);
+    for (int ix = 0; ix < nx; ++ix)
+      for (int iy = 0; iy < ny; ++iy)
+        for (int iz = 0; iz < nz; ++iz)
+          backend.set_coef(s, ix, iy, iz, static_cast<TR>(at(ix, iy, iz)));
+  }
+}
+
+template void fill_synthetic_orbitals<float, MultiBspline3D<float>>(MultiBspline3D<float>&, int,
+                                                                    int, int, int, std::uint64_t);
+template void fill_synthetic_orbitals<double, MultiBspline3D<double>>(MultiBspline3D<double>&, int,
+                                                                      int, int, int,
+                                                                      std::uint64_t);
+template void fill_synthetic_orbitals<float, BsplineSetAoS<float>>(BsplineSetAoS<float>&, int, int,
+                                                                   int, int, std::uint64_t);
+template void fill_synthetic_orbitals<double, BsplineSetAoS<double>>(BsplineSetAoS<double>&, int,
+                                                                     int, int, int, std::uint64_t);
+
+template class BsplineSPOSet<float, MultiBspline3D<float>>;
+template class BsplineSPOSet<double, MultiBspline3D<double>>;
+template class BsplineSPOSet<float, BsplineSetAoS<float>>;
+template class BsplineSPOSet<double, BsplineSetAoS<double>>;
+
+} // namespace qmcxx

@@ -1,0 +1,173 @@
+// Single-particle orbital (SPO) sets on 3D B-spline tables.
+//
+// Wraps the MultiBspline3D / BsplineSetAoS evaluators with the
+// reduced-to-Cartesian transform. Three profiled kernels live here
+// (paper Fig. 2/7):
+//   Bspline-v    -- values only, used by the NLPP ratio evaluations
+//   Bspline-vgh  -- value + gradient + hessian in reduced coordinates
+//   SPO-vgl      -- the cell transform producing Cartesian gradients and
+//                   laplacians from the vgh output
+#ifndef QMCXX_WAVEFUNCTION_SPO_SET_H
+#define QMCXX_WAVEFUNCTION_SPO_SET_H
+
+#include <memory>
+
+#include "containers/aligned_allocator.h"
+#include "containers/vector_soa.h"
+#include "instrument/timer.h"
+#include "numerics/bspline3d.h"
+#include "particle/lattice.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class SPOSet
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  virtual ~SPOSet() = default;
+
+  int num_orbitals() const { return norb_; }
+  std::size_t table_bytes() const { return table_bytes_; }
+
+  /// Orbital values at r into psi[0..norb).
+  virtual void evaluate_v(const Pos& r, TR* psi) = 0;
+
+  /// Values, Cartesian gradients and laplacians at r.
+  virtual void evaluate_vgl(const Pos& r, TR* psi, VectorSoaContainer<TR, 3>& dpsi,
+                            TR* d2psi) = 0;
+
+protected:
+  int norb_ = 0;
+  std::size_t table_bytes_ = 0;
+};
+
+/// Shared implementation: fold to reduced coordinates, evaluate vgh on a
+/// spline backend, then transform (the SPO-vgl kernel).
+template<typename TR, typename Backend>
+class BsplineSPOSet : public SPOSet<TR>
+{
+public:
+  using Pos = typename SPOSet<TR>::Pos;
+
+  BsplineSPOSet(const Lattice& lattice, std::shared_ptr<Backend> backend)
+      : lattice_(lattice), backend_(std::move(backend))
+  {
+    this->norb_ = backend_->num_splines();
+    this->table_bytes_ = backend_->coefficient_bytes();
+    const std::size_t np = getAlignedSize<TR>(this->norb_);
+    for (auto* v : {&vals_, &hxx_, &hxy_, &hxz_, &hyy_, &hyz_, &hzz_, &gu0_, &gu1_, &gu2_})
+      v->assign(np, TR(0));
+    // Reduced->Cartesian transform constants.
+    const auto& ainv = lattice_rows_inv();
+    for (unsigned a = 0; a < 3; ++a)
+      for (unsigned i = 0; i < 3; ++i)
+        gmat_[a][i] = static_cast<TR>(ainv[a][i]);
+    // Laplacian metric M_ab = sum_i dua/dxi dub/dxi.
+    int idx = 0;
+    for (unsigned a = 0; a < 3; ++a)
+      for (unsigned b = a; b < 3; ++b)
+      {
+        TR m = 0;
+        for (unsigned i = 0; i < 3; ++i)
+          m += gmat_[a][i] * gmat_[b][i];
+        // Off-diagonal hessian components appear twice in the trace.
+        lap_metric_[idx] = (a == b) ? m : TR(2) * m;
+        ++idx;
+      }
+  }
+
+  void evaluate_v(const Pos& r, TR* psi) override
+  {
+    ScopedTimer timer(Kernel::BsplineV);
+    const Pos u = lattice_.to_unit_folded(r);
+    const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+    backend_->evaluate_v(ur, psi);
+  }
+
+  void evaluate_vgl(const Pos& r, TR* psi, VectorSoaContainer<TR, 3>& dpsi, TR* d2psi) override
+  {
+    const Pos u = lattice_.to_unit_folded(r);
+    const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+    {
+      ScopedTimer timer(Kernel::BsplineVGH);
+      SplineVGHResult<TR> out{vals_.data(),
+                              {gu0_.data(), gu1_.data(), gu2_.data()},
+                              {hxx_.data(), hxy_.data(), hxz_.data(), hyy_.data(), hyz_.data(),
+                               hzz_.data()}};
+      backend_->evaluate_vgh(ur, out);
+    }
+    {
+      // SPO-vgl: Cartesian gradient g_i = sum_a dua/dxi * gu_a and
+      // laplacian = sum_ab M_ab H_ab (reduced-coordinate hessian trace).
+      ScopedTimer timer(Kernel::SPOvgl);
+      const int n = this->norb_;
+      TR* __restrict gx = dpsi.data(0);
+      TR* __restrict gy = dpsi.data(1);
+      TR* __restrict gz = dpsi.data(2);
+      const TR* __restrict g0 = gu0_.data();
+      const TR* __restrict g1 = gu1_.data();
+      const TR* __restrict g2 = gu2_.data();
+      const TR* __restrict xx = hxx_.data();
+      const TR* __restrict xy = hxy_.data();
+      const TR* __restrict xz = hxz_.data();
+      const TR* __restrict yy = hyy_.data();
+      const TR* __restrict yz = hyz_.data();
+      const TR* __restrict zz = hzz_.data();
+      const TR g00 = gmat_[0][0], g01 = gmat_[0][1], g02 = gmat_[0][2];
+      const TR g10 = gmat_[1][0], g11 = gmat_[1][1], g12 = gmat_[1][2];
+      const TR g20 = gmat_[2][0], g21 = gmat_[2][1], g22 = gmat_[2][2];
+      const TR m0 = lap_metric_[0], m1 = lap_metric_[1], m2 = lap_metric_[2];
+      const TR m3 = lap_metric_[3], m4 = lap_metric_[4], m5 = lap_metric_[5];
+#pragma omp simd
+      for (int s = 0; s < n; ++s)
+      {
+        psi[s] = vals_[s];
+        gx[s] = g00 * g0[s] + g10 * g1[s] + g20 * g2[s];
+        gy[s] = g01 * g0[s] + g11 * g1[s] + g21 * g2[s];
+        gz[s] = g02 * g0[s] + g12 * g1[s] + g22 * g2[s];
+        d2psi[s] = m0 * xx[s] + m1 * xy[s] + m2 * xz[s] + m3 * yy[s] + m4 * yz[s] + m5 * zz[s];
+      }
+    }
+  }
+
+private:
+  /// Rows a of d(u_a)/d(x_i): the reduced-coordinate jacobian.
+  std::array<TinyVector<double, 3>, 3> lattice_rows_inv() const
+  {
+    // to_unit(r)_a = dot(c_a, r): recover the rows by probing the axes.
+    std::array<TinyVector<double, 3>, 3> rows;
+    const TinyVector<double, 3> ex{1, 0, 0}, ey{0, 1, 0}, ez{0, 0, 1};
+    const auto ux = lattice_.to_unit(ex);
+    const auto uy = lattice_.to_unit(ey);
+    const auto uz = lattice_.to_unit(ez);
+    for (unsigned a = 0; a < 3; ++a)
+      rows[a] = TinyVector<double, 3>{ux[a], uy[a], uz[a]};
+    return rows;
+  }
+
+  Lattice lattice_;
+  std::shared_ptr<Backend> backend_;
+  TR gmat_[3][3];
+  TR lap_metric_[6];
+  aligned_vector<TR> vals_, gu0_, gu1_, gu2_;
+  aligned_vector<TR> hxx_, hxy_, hxz_, hyy_, hyz_, hzz_;
+};
+
+template<typename TR>
+using BsplineSPOSetSoA = BsplineSPOSet<TR, MultiBspline3D<TR>>;
+template<typename TR>
+using BsplineSPOSetAoS = BsplineSPOSet<TR, BsplineSetAoS<TR>>;
+
+/// Fill a spline backend with synthetic smooth periodic orbitals:
+/// deterministic random plane-wave superpositions sampled on the grid
+/// and prefiltered (DESIGN.md substitution for DFT orbitals).
+template<typename TR, typename Backend>
+void fill_synthetic_orbitals(Backend& backend, int nx, int ny, int nz, int num_orbitals,
+                             std::uint64_t seed);
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,7 @@
+#include "wavefunction/trial_wavefunction.h"
+
+namespace qmcxx
+{
+template class TrialWaveFunction<float>;
+template class TrialWaveFunction<double>;
+} // namespace qmcxx

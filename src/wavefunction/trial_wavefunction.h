@@ -1,0 +1,190 @@
+// TrialWaveFunction: the Slater-Jastrow product (paper Eq. 2).
+//
+// Thin orchestration over the components: log values add, ratios
+// multiply (Eq. 4: exp(dJ1) exp(dJ2) det|A'|/det|A|), and the
+// per-particle gradient/laplacian accumulators G and L feed the local
+// energy (Eq. 7). One instance exists per OpenMP thread (Fig. 4), and
+// the walker-buffer protocol streams all component state in and out of
+// the anonymous per-walker buffer.
+#ifndef QMCXX_WAVEFUNCTION_TRIAL_WAVEFUNCTION_H
+#define QMCXX_WAVEFUNCTION_TRIAL_WAVEFUNCTION_H
+
+#include <memory>
+#include <vector>
+
+#include "particle/walker.h"
+#include "wavefunction/wavefunction_component.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class TrialWaveFunction
+{
+public:
+  using Grad = TinyVector<double, 3>;
+  using Pos = TinyVector<double, 3>;
+
+  explicit TrialWaveFunction(int num_particles) : g_(num_particles), l_(num_particles) {}
+
+  void add_component(std::unique_ptr<WaveFunctionComponent<TR>> c)
+  {
+    components_.push_back(std::move(c));
+  }
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+  /// Per-thread clone (paper Fig. 4, "TrialWaveFunction Psi_th(Psi)").
+  std::unique_ptr<TrialWaveFunction<TR>> clone() const
+  {
+    auto c = std::make_unique<TrialWaveFunction<TR>>(static_cast<int>(g_.size()));
+    for (const auto& comp : components_)
+      c->add_component(comp->clone());
+    return c;
+  }
+  WaveFunctionComponent<TR>& component(int i) { return *components_[i]; }
+
+  /// Full evaluation from scratch; P must be update()d first.
+  double evaluate_log(ParticleSet<TR>& p)
+  {
+    zero_gl();
+    log_value_ = 0.0;
+    for (auto& c : components_)
+      log_value_ += c->evaluate_log(p, g_, l_);
+    return log_value_;
+  }
+
+  /// Mixed-precision repair: recompute all internal state in double
+  /// (paper Sec. 7.2, "new states are periodically computed from
+  /// scratch").
+  void recompute(ParticleSet<TR>& p)
+  {
+    p.update();
+    evaluate_log(p);
+  }
+
+  /// Gradient of log psi at the current position of particle k (drift).
+  Grad eval_grad(ParticleSet<TR>& p, int k)
+  {
+    Grad g{};
+    for (auto& c : components_)
+      g += c->eval_grad(p, k);
+    return g;
+  }
+
+  /// Value-only ratio for the proposed move (NLPP path).
+  double calc_ratio(ParticleSet<TR>& p, int k)
+  {
+    double r = 1.0;
+    for (auto& c : components_)
+      r *= c->ratio(p, k);
+    return r;
+  }
+
+  /// Ratio and gradient of log psi at the proposed position.
+  double calc_ratio_grad(ParticleSet<TR>& p, int k, Grad& grad)
+  {
+    double r = 1.0;
+    grad = Grad{};
+    for (auto& c : components_)
+    {
+      Grad gc{};
+      r *= c->ratio_grad(p, k, gc);
+      grad += gc;
+    }
+    return r;
+  }
+
+  /// Commit: components first (they may read pre-update table rows),
+  /// then the particle set.
+  void accept_move(ParticleSet<TR>& p, int k)
+  {
+    for (auto& c : components_)
+      c->accept_move(p, k);
+    p.accept_move(k);
+  }
+
+  void reject_move(ParticleSet<TR>& p, int k)
+  {
+    for (auto& c : components_)
+      c->reject_move(k);
+    p.reject_move(k);
+  }
+
+  /// Refresh G and L from component internal state after a PbyP sweep
+  /// (no recomputation of pair quantities).
+  void evaluate_gl(ParticleSet<TR>& p)
+  {
+    zero_gl();
+    log_value_ = 0.0;
+    for (auto& c : components_)
+    {
+      c->evaluate_gl(p, g_, l_);
+      log_value_ += c->log_value();
+    }
+  }
+
+  /// Sum of component log values: stays current through accepted moves
+  /// (each component maintains its own log under the PbyP protocol).
+  double log_value() const
+  {
+    double s = 0.0;
+    for (const auto& c : components_)
+      s += c->log_value();
+    return s;
+  }
+  const std::vector<Grad>& g() const { return g_; }
+  const std::vector<double>& l() const { return l_; }
+
+  /// Kinetic energy -1/2 sum_i (L_i + |G_i|^2) from the accumulators.
+  double kinetic_energy() const
+  {
+    double ke = 0.0;
+    for (std::size_t i = 0; i < l_.size(); ++i)
+      ke += l_[i] + dot(g_[i], g_[i]);
+    return -0.5 * ke;
+  }
+
+  // ---- walker-buffer protocol -----------------------------------------
+  void register_data(PooledBuffer& buf)
+  {
+    for (auto& c : components_)
+      c->register_data(buf);
+  }
+
+  void update_buffer(Walker& w)
+  {
+    w.buffer.rewind();
+    for (auto& c : components_)
+      c->update_buffer(w.buffer);
+    w.log_psi = log_value_;
+  }
+
+  void copy_from_buffer(ParticleSet<TR>& p, Walker& w)
+  {
+    w.buffer.rewind();
+    log_value_ = 0.0;
+    for (auto& c : components_)
+    {
+      c->copy_from_buffer(p, w.buffer);
+      log_value_ += c->log_value();
+    }
+  }
+
+private:
+  void zero_gl()
+  {
+    for (auto& gi : g_)
+      gi = Grad{};
+    for (auto& li : l_)
+      li = 0.0;
+  }
+
+  std::vector<std::unique_ptr<WaveFunctionComponent<TR>>> components_;
+  std::vector<Grad> g_;
+  std::vector<double> l_;
+  double log_value_ = 0.0;
+};
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,73 @@
+// Abstract orbital component of the trial wavefunction.
+//
+// The Slater-Jastrow form Psi_T = exp(J1) exp(J2) D_u D_d (paper Eq. 2)
+// is a product, so every component supplies a log value, per-move ratios
+// (Eq. 4), gradients for the quantum drift, accept/reject hooks for the
+// PbyP update, and the walker-buffer protocol that serializes its
+// internal state into the anonymous per-walker buffer (paper Fig. 4).
+#ifndef QMCXX_WAVEFUNCTION_WAVEFUNCTION_COMPONENT_H
+#define QMCXX_WAVEFUNCTION_WAVEFUNCTION_COMPONENT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containers/pooled_buffer.h"
+#include "containers/tiny_vector.h"
+#include "particle/particle_set.h"
+
+namespace qmcxx
+{
+
+template<typename TR>
+class WaveFunctionComponent
+{
+public:
+  using Pos = TinyVector<double, 3>;
+  using Grad = TinyVector<double, 3>;
+
+  virtual ~WaveFunctionComponent() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fresh component of the same kind for a per-thread clone; shares
+  /// read-only data (functors, spline tables), allocates private state.
+  virtual std::unique_ptr<WaveFunctionComponent<TR>> clone() const = 0;
+
+  /// Full evaluation from scratch (always in double): returns
+  /// log|component| and accumulates per-particle gradients and
+  /// laplacians of log psi into G and L.
+  virtual double evaluate_log(ParticleSet<TR>& p, std::vector<Grad>& g,
+                              std::vector<double>& l) = 0;
+
+  /// Value-only ratio psi(R')/psi(R) for the proposed move of particle k
+  /// (used by the non-local pseudopotential, Sec. 3).
+  virtual double ratio(ParticleSet<TR>& p, int k) = 0;
+
+  /// Ratio plus gradient of log psi at the proposed position.
+  virtual double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) = 0;
+
+  /// Gradient of log psi at the current position of particle k (drift).
+  virtual Grad eval_grad(ParticleSet<TR>& p, int k) = 0;
+
+  virtual void accept_move(ParticleSet<TR>& p, int k) = 0;
+  virtual void reject_move(int k) = 0;
+
+  /// Accumulate G and L from the component's current internal state
+  /// (after a sweep, without recomputation).
+  virtual void evaluate_gl(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) = 0;
+
+  // ---- anonymous walker-buffer protocol (paper Fig. 4) -----------------
+  virtual void register_data(PooledBuffer& buf) = 0;
+  virtual void update_buffer(PooledBuffer& buf) = 0;
+  virtual void copy_from_buffer(ParticleSet<TR>& p, PooledBuffer& buf) = 0;
+
+  double log_value() const { return log_value_; }
+
+protected:
+  double log_value_ = 0.0;
+};
+
+} // namespace qmcxx
+
+#endif

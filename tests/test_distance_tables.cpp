@@ -1,0 +1,306 @@
+// Unit + property tests for the distance tables: AoS packed-triangle vs
+// SoA full-row layouts, forward-update vs compute-on-the-fly policies,
+// and the PbyP move protocol (paper Fig. 6).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_utils.h"
+
+using namespace qmcxx;
+using namespace qmcxx::testing;
+
+namespace
+{
+
+/// Reference distances via direct double-precision minimum image.
+double exact_dist(const Lattice& lat, const TinyVector<double, 3>& a,
+                  const TinyVector<double, 3>& b)
+{
+  return norm(lat.min_image(b - a));
+}
+
+struct TableCase
+{
+  bool soa;
+  DTUpdateMode mode; // only meaningful for soa
+};
+
+} // namespace
+
+class DistanceTableAA : public ::testing::TestWithParam<TableCase>
+{
+protected:
+  static constexpr int kN = 24;
+
+  std::unique_ptr<ParticleSet<double>> make_system(int& table_idx)
+  {
+    auto p = make_electrons<double>(kN / 2, kN / 2, 6.0);
+    const auto& param = GetParam();
+    if (param.soa)
+      table_idx = p->add_table(
+          std::make_unique<SoaDistanceTableAA<double>>(p->lattice(), kN, param.mode));
+    else
+      table_idx = p->add_table(std::make_unique<AosDistanceTableAA<double>>(p->lattice(), kN));
+    p->update();
+    return p;
+  }
+};
+
+TEST_P(DistanceTableAA, EvaluateMatchesExactDistances)
+{
+  int ti;
+  auto p = make_system(ti);
+  auto& dt = p->table(ti);
+  for (int i = 0; i < kN; ++i)
+    for (int j = 0; j < kN; ++j)
+    {
+      if (i == j)
+        continue;
+      EXPECT_NEAR(dt.dist(i, j), exact_dist(p->lattice(), p->R[i], p->R[j]), 1e-12)
+          << i << "," << j;
+    }
+}
+
+TEST_P(DistanceTableAA, DisplacementConventionIsTowardsSource)
+{
+  int ti;
+  auto p = make_system(ti);
+  auto& dt = p->table(ti);
+  // displ(i,j) = min_image(r_j - r_i); norm must equal dist.
+  for (int i = 0; i < kN; i += 5)
+    for (int j = 0; j < kN; j += 3)
+    {
+      if (i == j)
+        continue;
+      const auto d = dt.displ(i, j);
+      const auto expect = p->lattice().min_image(p->R[j] - p->R[i]);
+      for (unsigned dd = 0; dd < 3; ++dd)
+        EXPECT_NEAR(d[dd], expect[dd], 1e-12);
+      EXPECT_NEAR(norm(d), dt.dist(i, j), 1e-12);
+    }
+}
+
+TEST_P(DistanceTableAA, MoveFillsTempRow)
+{
+  int ti;
+  auto p = make_system(ti);
+  auto& dt = p->table(ti);
+  const int k = 7;
+  const TinyVector<double, 3> rnew = p->R[k] + TinyVector<double, 3>{0.3, -0.2, 0.5};
+  p->prepare_move(k);
+  p->make_move(k, rnew);
+  const double* tr = dt.temp_r();
+  for (int j = 0; j < kN; ++j)
+  {
+    if (j == k)
+      continue;
+    EXPECT_NEAR(tr[j], exact_dist(p->lattice(), rnew, p->R[j]), 1e-12) << j;
+  }
+  p->reject_move(k);
+}
+
+TEST_P(DistanceTableAA, SweepWithAcceptsKeepsRowsConsistent)
+{
+  int ti;
+  auto p = make_system(ti);
+  auto& dt = p->table(ti);
+  RandomGenerator rng(99);
+  // Ordered sweep accepting every other move, like the PbyP update.
+  for (int k = 0; k < kN; ++k)
+  {
+    p->prepare_move(k);
+    const TinyVector<double, 3> rnew =
+        p->R[k] + TinyVector<double, 3>{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+                                        rng.uniform(-0.4, 0.4)};
+    p->make_move(k, rnew);
+    if (k % 2 == 0)
+      p->accept_move(k);
+    else
+      p->reject_move(k);
+
+    // After each accept, the data future moves will read (rows k' > k at
+    // prepare time, or the forward-updated column) must be consistent:
+    // verify by preparing the next particle and checking its row.
+    if (k + 1 < kN)
+    {
+      p->prepare_move(k + 1);
+      const auto& base = p->table(ti);
+      for (int j = 0; j < kN; ++j)
+      {
+        if (j == k + 1)
+          continue;
+        const auto& param = GetParam();
+        const double expect = exact_dist(p->lattice(), p->R[k + 1], p->R[j]);
+        if (param.soa)
+        {
+          auto& soa = p->template table_as<SoaDistanceTableAA<double>>(ti);
+          EXPECT_NEAR(soa.row_d(k + 1)[j], expect, 1e-12) << "k=" << k << " j=" << j;
+        }
+        else
+        {
+          EXPECT_NEAR(base.dist(k + 1, j), expect, 1e-12) << "k=" << k << " j=" << j;
+        }
+      }
+    }
+  }
+  (void)dt;
+  // Full refresh at measurement reproduces exact distances everywhere.
+  p->update();
+  for (int i = 0; i < kN; ++i)
+    for (int j = i + 1; j < kN; ++j)
+      EXPECT_NEAR(p->table(ti).dist(i, j), exact_dist(p->lattice(), p->R[i], p->R[j]), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAA,
+                         ::testing::Values(TableCase{false, DTUpdateMode::OnTheFly},
+                                           TableCase{true, DTUpdateMode::ForwardUpdate},
+                                           TableCase{true, DTUpdateMode::OnTheFly}),
+                         [](const ::testing::TestParamInfo<TableCase>& info) {
+                           if (!info.param.soa)
+                             return std::string("AosPackedTriangle");
+                           return info.param.mode == DTUpdateMode::ForwardUpdate
+                               ? std::string("SoaForwardUpdate")
+                               : std::string("SoaOnTheFly");
+                         });
+
+TEST(DistanceTableAASoA, ForwardUpdateMaintainsColumnBelowK)
+{
+  const int n = 16;
+  auto p = make_electrons<double>(n / 2, n / 2, 5.0);
+  const int ti = p->add_table(
+      std::make_unique<SoaDistanceTableAA<double>>(p->lattice(), n, DTUpdateMode::ForwardUpdate));
+  p->update();
+  auto& dt = p->template table_as<SoaDistanceTableAA<double>>(ti);
+  const int k = 3;
+  const TinyVector<double, 3> rnew = p->R[k] + TinyVector<double, 3>{0.7, 0.1, -0.4};
+  p->make_move(k, rnew);
+  p->accept_move(k);
+  // Rows i > k must see the new distance at column k without refresh.
+  for (int i = k + 1; i < n; ++i)
+    EXPECT_NEAR(dt.row_d(i)[k], exact_dist(p->lattice(), p->R[i], p->R[k]), 1e-12) << i;
+}
+
+TEST(DistanceTableAASoA, SelfDistanceIsSentinel)
+{
+  const int n = 8;
+  auto p = make_electrons<double>(n / 2, n / 2, 5.0);
+  const int ti = p->add_table(std::make_unique<SoaDistanceTableAA<double>>(p->lattice(), n));
+  p->update();
+  auto& dt = p->table(ti);
+  for (int i = 0; i < n; ++i)
+    EXPECT_GT(dt.dist(i, i), 1e9);
+}
+
+TEST(DistanceTableAASoA, PaddedTailIsHarmless)
+{
+  // Row stride exceeds N; kernels may read the padding, which must be 0.
+  const int n = 5;
+  auto p = make_electrons<double>(2, 3, 5.0);
+  const int ti = p->add_table(std::make_unique<SoaDistanceTableAA<double>>(p->lattice(), n));
+  p->update();
+  auto& dt = p->template table_as<SoaDistanceTableAA<double>>(ti);
+  EXPECT_GT(dt.row_stride(), static_cast<std::size_t>(n));
+  for (std::size_t j = n; j < dt.row_stride(); ++j)
+    EXPECT_EQ(dt.row_d(0)[j], 0.0);
+}
+
+// ---------------------------------------------------------------------
+// AB tables
+// ---------------------------------------------------------------------
+
+class DistanceTableAB : public ::testing::TestWithParam<bool> // soa?
+{
+protected:
+  static constexpr int kNel = 12;
+  static constexpr int kNion = 6;
+
+  void build()
+  {
+    ions_ = make_ions<double>(3, 3, 6.0);
+    elec_ = make_electrons<double>(kNel / 2, kNel / 2, 6.0);
+    if (GetParam())
+      ti_ = elec_->add_table(
+          std::make_unique<SoaDistanceTableAB<double>>(elec_->lattice(), *ions_, kNel));
+    else
+      ti_ = elec_->add_table(
+          std::make_unique<AosDistanceTableAB<double>>(elec_->lattice(), *ions_, kNel));
+    elec_->update();
+  }
+
+  std::unique_ptr<ParticleSet<double>> ions_, elec_;
+  int ti_ = -1;
+};
+
+TEST_P(DistanceTableAB, EvaluateMatchesExact)
+{
+  build();
+  auto& dt = elec_->table(ti_);
+  for (int i = 0; i < kNel; ++i)
+    for (int j = 0; j < kNion; ++j)
+      EXPECT_NEAR(dt.dist(i, j), exact_dist(elec_->lattice(), elec_->R[i], ions_->R[j]), 1e-12);
+}
+
+TEST_P(DistanceTableAB, MoveAndUpdateCommitRow)
+{
+  build();
+  auto& dt = elec_->table(ti_);
+  const int k = 4;
+  const TinyVector<double, 3> rnew = elec_->R[k] + TinyVector<double, 3>{-0.5, 0.9, 0.2};
+  elec_->prepare_move(k);
+  elec_->make_move(k, rnew);
+  for (int j = 0; j < kNion; ++j)
+    EXPECT_NEAR(dt.temp_r()[j], exact_dist(elec_->lattice(), rnew, ions_->R[j]), 1e-12);
+  elec_->accept_move(k);
+  for (int j = 0; j < kNion; ++j)
+    EXPECT_NEAR(dt.dist(k, j), exact_dist(elec_->lattice(), rnew, ions_->R[j]), 1e-12);
+  // Other rows untouched.
+  for (int j = 0; j < kNion; ++j)
+    EXPECT_NEAR(dt.dist(0, j), exact_dist(elec_->lattice(), elec_->R[0], ions_->R[j]), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAB, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("Soa") : std::string("Aos");
+                         });
+
+TEST(DistanceTableMixedPrecision, FloatTablesTrackDouble)
+{
+  const int n = 20;
+  auto pd = make_electrons<double>(n / 2, n / 2, 6.0, /*seed=*/3);
+  auto pf = make_electrons<float>(n / 2, n / 2, 6.0, /*seed=*/3);
+  const int td = pd->add_table(std::make_unique<SoaDistanceTableAA<double>>(pd->lattice(), n));
+  const int tf = pf->add_table(std::make_unique<SoaDistanceTableAA<float>>(pf->lattice(), n));
+  pd->update();
+  pf->update();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+    {
+      if (i == j)
+        continue;
+      EXPECT_NEAR(pd->table(td).dist(i, j), static_cast<double>(pf->table(tf).dist(i, j)), 2e-6);
+    }
+}
+
+TEST(DistanceTableSkewedCell, SoaFallbackMatchesAos)
+{
+  // Hexagonal cell exercises the scalar exact-min-image fallback.
+  const int n = 14;
+  Lattice lat = Lattice::hexagonal(5.0, 8.0);
+  ParticleSet<double> p("e", lat);
+  p.add_species("u", -1.0);
+  p.add_species("d", -1.0);
+  p.create({n / 2, n / 2});
+  RandomGenerator rng(13);
+  randomize_positions(p, rng);
+  const int ta = p.add_table(std::make_unique<AosDistanceTableAA<double>>(lat, n));
+  const int ts = p.add_table(std::make_unique<SoaDistanceTableAA<double>>(lat, n));
+  p.update();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+    {
+      if (i == j)
+        continue;
+      EXPECT_NEAR(p.table(ta).dist(i, j), p.table(ts).dist(i, j), 1e-12);
+    }
+}

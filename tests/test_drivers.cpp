@@ -1,0 +1,342 @@
+// Integration tests: system builder, VMC/DMC drivers (Alg. 1),
+// branching/population control, engine-variant equivalence, and the
+// plane-wave kinetic-energy cross-check of the whole wavefunction stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drivers/qmc_driver_impl.h"
+#include "drivers/qmc_system.h"
+#include "workloads/system_builder.h"
+
+using namespace qmcxx;
+
+namespace
+{
+
+/// A miniature workload (16 electrons, 4 ions) for fast driver tests.
+WorkloadInfo tiny_workload()
+{
+  WorkloadInfo w;
+  w.name = "Tiny";
+  w.id = Workload::Graphite; // placeholder id
+  w.num_electrons = 16;
+  w.num_ions = 4;
+  w.ions_per_unit_cell = 4;
+  w.num_unit_cells = 1;
+  w.ion_types = "X(4)";
+  w.paper_unique_spos = 8;
+  w.paper_fft_grid = "-";
+  w.paper_spline_gb = 0;
+  w.has_pseudopotential = true;
+  w.grid = {10, 10, 10};
+  w.num_orbitals = 8;
+  w.species = {{"X", 4.0, -0.4, 1.1, 0.6, 0.8, 0.9, 1.6}};
+  w.ion_counts = {4};
+  w.lattice = Lattice::cubic(7.0);
+  w.ion_positions = {{1.75, 1.75, 1.75}, {5.25, 5.25, 1.75}, {5.25, 1.75, 5.25},
+                     {1.75, 5.25, 5.25}};
+  return w;
+}
+
+DriverConfig test_config(int steps = 4, int walkers = 4)
+{
+  DriverConfig cfg;
+  cfg.tau = 0.02;
+  cfg.steps = steps;
+  cfg.num_walkers = walkers;
+  cfg.seed = 77;
+  cfg.recompute_period = 3;
+  cfg.threads = 1;
+  return cfg;
+}
+
+} // namespace
+
+TEST(SystemBuilder, BuildsAllLayoutsAndPrecisions)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions aos, soa;
+  aos.soa_layout = false;
+  soa.soa_layout = true;
+  auto s1 = build_system<double>(info, aos);
+  auto s2 = build_system<float>(info, soa);
+  EXPECT_EQ(s1.elec->size(), 16);
+  EXPECT_EQ(s1.ions->size(), 4);
+  EXPECT_EQ(s1.twf->num_components(), 4); // J2, J1, 2 determinants
+  EXPECT_EQ(s2.twf->num_components(), 4);
+  EXPECT_EQ(s1.ham->num_components(), 5); // kin, ee, ei, ii, nlpp
+  // Log psi evaluates finite in both.
+  s1.elec->update();
+  const double l1 = s1.twf->evaluate_log(*s1.elec);
+  s2.elec->update();
+  const double l2 = s2.twf->evaluate_log(*s2.elec);
+  EXPECT_TRUE(std::isfinite(l1));
+  EXPECT_TRUE(std::isfinite(l2));
+}
+
+TEST(SystemBuilder, RefAndCurrentLogPsiAgree)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions aos, soa;
+  aos.soa_layout = false;
+  soa.soa_layout = true;
+  auto s1 = build_system<double>(info, aos);
+  auto s2 = build_system<double>(info, soa);
+  // Same seed -> same electron start configuration.
+  for (int i = 0; i < 16; ++i)
+    for (unsigned d = 0; d < 3; ++d)
+      ASSERT_EQ(s1.elec->R[i][d], s2.elec->R[i][d]);
+  s1.elec->update();
+  s2.elec->update();
+  const double l1 = s1.twf->evaluate_log(*s1.elec);
+  const double l2 = s2.twf->evaluate_log(*s2.elec);
+  EXPECT_NEAR(l1, l2, 1e-8 * std::abs(l1) + 1e-8);
+}
+
+TEST(SystemBuilder, LocalEnergyAgreesAcrossLayouts)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions aos, soa;
+  aos.soa_layout = false;
+  soa.soa_layout = true;
+  auto s1 = build_system<double>(info, aos);
+  auto s2 = build_system<double>(info, soa);
+  s1.elec->update();
+  s1.twf->evaluate_log(*s1.elec);
+  s2.elec->update();
+  s2.twf->evaluate_log(*s2.elec);
+  const double e1 = s1.ham->evaluate(*s1.elec, *s1.twf);
+  const double e2 = s2.ham->evaluate(*s2.elec, *s2.twf);
+  EXPECT_NEAR(e1, e2, 1e-6 * std::abs(e1) + 1e-6);
+}
+
+TEST(PlaneWaveDeterminant, KineticEnergyMatchesBandSum)
+{
+  // Pure plane-wave orbitals: the determinant kinetic energy is
+  // sum_j k_j^2 / 2 independent of the configuration. This exercises
+  // spline fit, vgh evaluation, the SPO-vgl transform, the determinant
+  // G/L accumulation and the kinetic component together.
+  const double box = 6.0;
+  const Lattice lat = Lattice::cubic(box);
+  const int nel = 8;
+  const int grid = 20;
+
+  // Orbitals: 1, cos(b.r), sin(b.r) for the 3 shortest b, cos(b4.r) with
+  // b4 the (1,1,0) vector.
+  struct Mode
+  {
+    TinyVector<int, 3> k;
+    bool sine;
+  };
+  const std::vector<Mode> modes = {{{0, 0, 0}, false}, {{1, 0, 0}, false}, {{1, 0, 0}, true},
+                                   {{0, 1, 0}, false}, {{0, 1, 0}, true},  {{0, 0, 1}, false},
+                                   {{0, 0, 1}, true},  {{1, 1, 0}, false}};
+  auto backend = std::make_shared<MultiBspline3D<double>>();
+  backend->resize(grid, grid, grid, nel);
+  std::vector<std::vector<double>> samples(nel,
+                                           std::vector<double>(grid * grid * grid));
+  for (int s = 0; s < nel; ++s)
+  {
+    std::size_t idx = 0;
+    for (int ix = 0; ix < grid; ++ix)
+      for (int iy = 0; iy < grid; ++iy)
+        for (int iz = 0; iz < grid; ++iz)
+        {
+          const double phase = 2 * M_PI *
+              (modes[s].k[0] * static_cast<double>(ix) / grid +
+               modes[s].k[1] * static_cast<double>(iy) / grid +
+               modes[s].k[2] * static_cast<double>(iz) / grid);
+          samples[s][idx++] = modes[s].sine ? std::sin(phase) : std::cos(phase);
+        }
+  }
+  fit_splines_periodic<double>(*backend, grid, grid, grid, samples);
+  auto spos = std::make_shared<BsplineSPOSetSoA<double>>(lat, backend);
+
+  ParticleSet<double> p("e", lat);
+  p.add_species("u", -1.0);
+  p.create({nel});
+  RandomGenerator rng(5);
+  for (auto& r : p.R)
+    r = lat.to_cart({rng.uniform(), rng.uniform(), rng.uniform()});
+  p.Rsoa = p.R;
+  p.update();
+
+  TrialWaveFunction<double> twf(nel);
+  twf.add_component(std::make_unique<DiracDeterminant<double>>(spos, 0, nel));
+  twf.evaluate_log(p);
+  const double ke = twf.kinetic_energy();
+
+  const double b = 2 * M_PI / box;
+  double expect = 0;
+  for (const auto& m : modes)
+    expect += 0.5 * b * b *
+        static_cast<double>(m.k[0] * m.k[0] + m.k[1] * m.k[1] + m.k[2] * m.k[2]);
+  EXPECT_NEAR(ke, expect, 0.02 * expect + 1e-8);
+}
+
+TEST(VmcDriver, RunsAndProducesFiniteStatistics)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions opt;
+  auto sys = build_system<double>(info, opt);
+  QMCDriver<double> driver(*sys.elec, *sys.twf, *sys.ham, test_config(6, 4));
+  driver.initialize_population();
+  const RunResult res = driver.run_vmc();
+  ASSERT_EQ(res.generations.size(), 6u);
+  EXPECT_TRUE(std::isfinite(res.mean_energy));
+  EXPECT_GT(res.mean_acceptance, 0.3);
+  EXPECT_LE(res.mean_acceptance, 1.0);
+  EXPECT_EQ(res.total_samples, 24u);
+  EXPECT_GT(res.throughput, 0.0);
+}
+
+TEST(VmcDriver, DeterministicForSeed)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions opt;
+  auto s1 = build_system<double>(info, opt);
+  auto s2 = build_system<double>(info, opt);
+  QMCDriver<double> d1(*s1.elec, *s1.twf, *s1.ham, test_config());
+  QMCDriver<double> d2(*s2.elec, *s2.twf, *s2.ham, test_config());
+  d1.initialize_population();
+  d2.initialize_population();
+  const RunResult r1 = d1.run_vmc();
+  const RunResult r2 = d2.run_vmc();
+  for (std::size_t g = 0; g < r1.generations.size(); ++g)
+    EXPECT_DOUBLE_EQ(r1.generations[g].energy, r2.generations[g].energy);
+}
+
+TEST(VmcDriver, RefAndCurrentEnergiesTrackEachOther)
+{
+  // Same seeds, same Markov chain proposals: Ref (double AoS) and
+  // Current (double SoA) must produce nearly identical energy traces;
+  // float Current should track loosely.
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions aos, soa;
+  aos.soa_layout = false;
+  soa.soa_layout = true;
+  auto s1 = build_system<double>(info, aos);
+  auto s2 = build_system<double>(info, soa);
+  QMCDriver<double> d1(*s1.elec, *s1.twf, *s1.ham, test_config(4, 3));
+  QMCDriver<double> d2(*s2.elec, *s2.twf, *s2.ham, test_config(4, 3));
+  d1.initialize_population();
+  d2.initialize_population();
+  const RunResult r1 = d1.run_vmc();
+  const RunResult r2 = d2.run_vmc();
+  for (std::size_t g = 0; g < r1.generations.size(); ++g)
+    EXPECT_NEAR(r1.generations[g].energy, r2.generations[g].energy,
+                1e-5 * std::abs(r1.generations[g].energy) + 1e-5)
+        << g;
+}
+
+TEST(DmcDriver, PopulationStaysBoundedAndEnergiesFinite)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions opt;
+  auto sys = build_system<double>(info, opt);
+  DriverConfig cfg = test_config(10, 6);
+  QMCDriver<double> driver(*sys.elec, *sys.twf, *sys.ham, cfg);
+  driver.initialize_population();
+  const RunResult res = driver.run_dmc();
+  ASSERT_EQ(res.generations.size(), 10u);
+  for (const auto& g : res.generations)
+  {
+    EXPECT_TRUE(std::isfinite(g.energy));
+    EXPECT_TRUE(std::isfinite(g.trial_energy));
+    EXPECT_GE(g.num_walkers, 3);  // >= target/2
+    EXPECT_LE(g.num_walkers, 12); // <= 2*target
+    EXPECT_GT(g.weight, 0.0);
+  }
+}
+
+TEST(DmcDriver, MultiThreadedRunMatchesWalkerCount)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions opt;
+  auto sys = build_system<float>(info, opt);
+  DriverConfig cfg = test_config(5, 8);
+  cfg.threads = 2; // oversubscribed on 1 core, still must be correct
+  QMCDriver<float> driver(*sys.elec, *sys.twf, *sys.ham, cfg);
+  driver.initialize_population();
+  const RunResult res = driver.run_dmc();
+  EXPECT_EQ(res.generations.size(), 5u);
+  for (const auto& g : res.generations)
+    EXPECT_TRUE(std::isfinite(g.energy));
+}
+
+TEST(BranchWalkers, MultiplicityRules)
+{
+  WalkerPopulation pop;
+  RandomGenerator rng(1);
+  for (int i = 0; i < 4; ++i)
+  {
+    auto w = std::make_unique<Walker>(2);
+    w->id = i;
+    pop.walkers.push_back(std::move(w));
+    pop.rngs.emplace_back(100 + i);
+  }
+  pop.walkers[0]->weight = 0.0;  // killed (multiplicity 0 w.p. 1)
+  pop.walkers[1]->weight = 3.0;  // at least 3 copies
+  pop.walkers[2]->weight = 1.0;
+  pop.walkers[3]->weight = 1.0;
+  branch_walkers(pop, 4, rng);
+  EXPECT_GE(pop.size(), 2);
+  EXPECT_LE(pop.size(), 8); // 2 * target
+  for (const auto& w : pop.walkers)
+    EXPECT_EQ(w->weight, 1.0);
+  EXPECT_EQ(pop.walkers.size(), pop.rngs.size());
+}
+
+TEST(BranchWalkers, ClampsExplosion)
+{
+  WalkerPopulation pop;
+  RandomGenerator rng(2);
+  for (int i = 0; i < 4; ++i)
+  {
+    auto w = std::make_unique<Walker>(2);
+    w->weight = 10.0;
+    pop.walkers.push_back(std::move(w));
+    pop.rngs.emplace_back(i);
+  }
+  branch_walkers(pop, 4, rng);
+  EXPECT_LE(pop.size(), 8);
+}
+
+TEST(BranchWalkers, RevivesDyingPopulation)
+{
+  WalkerPopulation pop;
+  RandomGenerator rng(3);
+  for (int i = 0; i < 4; ++i)
+  {
+    auto w = std::make_unique<Walker>(2);
+    w->weight = (i == 0) ? 1.0 : 0.0;
+    pop.walkers.push_back(std::move(w));
+    pop.rngs.emplace_back(i);
+  }
+  branch_walkers(pop, 4, rng);
+  EXPECT_GE(pop.size(), 2); // >= target/2
+}
+
+TEST(RunEngine, AllVariantsProduceReports)
+{
+  // Smallest real workload at minimal settings: smoke-test the
+  // type-erased runner for every engine variant.
+  for (EngineVariant v : {EngineVariant::Ref, EngineVariant::RefMP, EngineVariant::Current,
+                          EngineVariant::CurrentDP})
+  {
+    EngineRunSpec spec;
+    spec.workload = Workload::Graphite;
+    spec.variant = v;
+    spec.dmc = false;
+    spec.driver.steps = 1;
+    spec.driver.num_walkers = 1;
+    spec.driver.threads = 1;
+    spec.driver.seed = 3;
+    const EngineReport rep = run_engine(spec);
+    EXPECT_TRUE(std::isfinite(rep.result.mean_energy)) << to_string(v);
+    EXPECT_GT(rep.footprint_bytes, 0u) << to_string(v);
+    EXPECT_GT(rep.spline_bytes, 0u) << to_string(v);
+    EXPECT_GT(rep.profile.total(), 0.0) << to_string(v);
+  }
+}

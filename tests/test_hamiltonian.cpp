@@ -1,0 +1,195 @@
+// Unit tests: Ewald summation (Madelung constants, consistency
+// identities), Coulomb components and the non-local pseudopotential
+// quadrature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamiltonian/coulomb.h"
+#include "hamiltonian/ewald.h"
+#include "hamiltonian/pseudopotential.h"
+#include "test_utils.h"
+#include "wavefunction/trial_wavefunction.h"
+
+using namespace qmcxx;
+using namespace qmcxx::testing;
+
+namespace
+{
+using Pos = TinyVector<double, 3>;
+}
+
+TEST(Ewald, NaClMadelungConstant)
+{
+  // Rocksalt with nearest-neighbor distance 1: energy per ion pair is
+  // -M_NaCl = -1.747564594...
+  const double a0 = 2.0; // conventional cell; nn distance = 1
+  const Lattice lat = Lattice::cubic(a0);
+  std::vector<Pos> r = {{0, 0, 0},     {1, 1, 0},     {1, 0, 1},     {0, 1, 1},   // +
+                        {1, 0, 0},     {0, 1, 0},     {0, 0, 1},     {1, 1, 1}};  // -
+  std::vector<double> q = {1, 1, 1, 1, -1, -1, -1, -1};
+  EwaldSum ewald(lat, 1e-10);
+  const double e = ewald.energy(r, q);
+  const double madelung = -e / 4.0; // 4 ion pairs, r_nn = 1
+  EXPECT_NEAR(madelung, 1.7475645946, 1e-6);
+}
+
+TEST(Ewald, CsClMadelungConstant)
+{
+  // CsCl structure: simple cubic of +, body center -; Madelung constant
+  // referred to the nearest-neighbor distance sqrt(3)/2 a: 1.76267...
+  const Lattice lat = Lattice::cubic(1.0);
+  std::vector<Pos> r = {{0, 0, 0}, {0.5, 0.5, 0.5}};
+  std::vector<double> q = {1, -1};
+  EwaldSum ewald(lat, 1e-10);
+  const double e = ewald.energy(r, q);
+  const double r_nn = std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(-e * r_nn, 1.76267477, 1e-6);
+}
+
+TEST(Ewald, ToleranceConvergence)
+{
+  const Lattice lat = Lattice::cubic(3.7);
+  RandomGenerator rng(3);
+  std::vector<Pos> r;
+  std::vector<double> q;
+  for (int i = 0; i < 10; ++i)
+  {
+    r.push_back(Pos{rng.uniform(0, 3.7), rng.uniform(0, 3.7), rng.uniform(0, 3.7)});
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  const double e6 = EwaldSum(lat, 1e-6).energy(r, q);
+  const double e10 = EwaldSum(lat, 1e-10).energy(r, q);
+  EXPECT_NEAR(e6, e10, 1e-4 * std::abs(e10) + 1e-5);
+}
+
+TEST(Ewald, TranslationInvariance)
+{
+  const Lattice lat = Lattice::cubic(4.2);
+  RandomGenerator rng(9);
+  std::vector<Pos> r;
+  std::vector<double> q;
+  for (int i = 0; i < 8; ++i)
+  {
+    r.push_back(Pos{rng.uniform(0, 4.2), rng.uniform(0, 4.2), rng.uniform(0, 4.2)});
+    q.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EwaldSum ewald(lat, 1e-8);
+  const double e0 = ewald.energy(r, q);
+  const Pos shift{1.234, -0.77, 2.5};
+  for (auto& ri : r)
+    ri += shift;
+  EXPECT_NEAR(ewald.energy(r, q), e0, 1e-8 * std::abs(e0) + 1e-9);
+}
+
+TEST(Ewald, InteractionDecomposition)
+{
+  // E(A u B) = E(A) + E(B) + E_int(A,B).
+  const Lattice lat = Lattice::cubic(5.0);
+  RandomGenerator rng(17);
+  std::vector<Pos> ra, rb, rall;
+  std::vector<double> qa, qb, qall;
+  for (int i = 0; i < 6; ++i)
+  {
+    ra.push_back(Pos{rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)});
+    qa.push_back(-1.0);
+  }
+  for (int i = 0; i < 3; ++i)
+  {
+    rb.push_back(Pos{rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)});
+    qb.push_back(2.0);
+  }
+  rall = ra;
+  rall.insert(rall.end(), rb.begin(), rb.end());
+  qall = qa;
+  qall.insert(qall.end(), qb.begin(), qb.end());
+  EwaldSum ewald(lat, 1e-9);
+  const double e_all = ewald.energy(rall, qall);
+  const double e_parts =
+      ewald.energy(ra, qa) + ewald.energy(rb, qb) + ewald.interaction_energy(ra, qa, rb, qb);
+  EXPECT_NEAR(e_all, e_parts, 1e-7 * std::abs(e_all) + 1e-8);
+}
+
+TEST(NonLocalPP, VanishesForConstantWavefunction)
+{
+  // With no wavefunction components every ratio is 1, and the l = 1
+  // angular quadrature integrates P_1 exactly to zero.
+  auto ions = make_ions<double>(2, 2, 6.0);
+  auto elec = make_electrons<double>(6, 6, 6.0);
+  const int ti =
+      elec->add_table(std::make_unique<SoaDistanceTableAB<double>>(elec->lattice(), *ions, 12));
+  elec->update();
+  TrialWaveFunction<double> twf(12);
+
+  std::vector<NLChannel> channels = {NLChannel{1, 2.0, 1.0, 5.0}, NLChannel{1, 1.0, 0.8, 5.0}};
+  NonLocalPP<double> nlpp(*ions, channels, ti);
+  const double e = nlpp.evaluate(*elec, twf);
+  EXPECT_NEAR(e, 0.0, 1e-10);
+}
+
+TEST(NonLocalPP, RespectsCutoff)
+{
+  // Zero when all electrons are farther than rcut from every ion.
+  Lattice lat = Lattice::cubic(20.0);
+  ParticleSet<double> ions("ion", lat);
+  ions.add_species("A", 4.0);
+  ions.create({1});
+  ions.R[0] = {0, 0, 0};
+  ions.Rsoa = ions.R;
+  ParticleSet<double> elec("e", lat);
+  elec.add_species("u", -1.0);
+  elec.create({2});
+  elec.R[0] = {8, 8, 8};
+  elec.R[1] = {9, 2, 9};
+  const int ti = elec.add_table(std::make_unique<SoaDistanceTableAB<double>>(lat, ions, 2));
+  elec.update();
+  TrialWaveFunction<double> twf(2);
+  NonLocalPP<double> nlpp(ions, {NLChannel{1, 3.0, 1.0, 1.5}}, ti);
+  EXPECT_EQ(nlpp.evaluate(elec, twf), 0.0);
+}
+
+TEST(CoulombII, ConstantAndNegativeForNeutralCrystal)
+{
+  // Rocksalt-like ion lattice: the Madelung energy is negative.
+  Lattice lat = Lattice::cubic(4.0);
+  ParticleSet<double> ions("ion", lat);
+  ions.add_species("A", 1.0);
+  ions.add_species("B", -1.0);
+  ions.create({4, 4});
+  const std::vector<TinyVector<double, 3>> pos = {{0, 0, 0}, {2, 2, 0}, {2, 0, 2}, {0, 2, 2},
+                                                  {2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {2, 2, 2}};
+  ions.R = pos;
+  ions.Rsoa = ions.R;
+  CoulombII<double> cii(ions);
+  ParticleSet<double> dummy_e("e", lat);
+  TrialWaveFunction<double> twf(0);
+  const double e1 = cii.evaluate(dummy_e, twf);
+  const double e2 = cii.evaluate(dummy_e, twf);
+  EXPECT_LT(e1, 0.0);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(CoulombEI, CoreRegularizationReducesSingularity)
+{
+  // With the erf-regularized core, the e-i energy near an ion stays
+  // finite and above the bare -Z/r value.
+  Lattice lat = Lattice::cubic(8.0);
+  ParticleSet<double> ions("ion", lat);
+  ions.add_species("A", 6.0);
+  ions.create({1});
+  ions.R[0] = {4, 4, 4};
+  ions.Rsoa = ions.R;
+  ParticleSet<double> elec("e", lat);
+  elec.add_species("u", -1.0);
+  elec.create({1});
+  elec.R[0] = {4.001, 4, 4}; // nearly on top of the ion
+  elec.Rsoa = elec.R;
+  TrialWaveFunction<double> twf(1);
+
+  CoulombEI<double> bare(ions, {0.0});
+  CoulombEI<double> soft(ions, {0.8});
+  const double e_bare = bare.evaluate(elec, twf);
+  const double e_soft = soft.evaluate(elec, twf);
+  EXPECT_LT(e_bare, -1000.0); // -Z/r with r = 1e-3
+  EXPECT_GT(e_soft, -100.0);  // erf regularized
+}

@@ -1,0 +1,136 @@
+// Unit tests: lattice coordinate transforms and minimum-image logic for
+// cubic and skewed (hexagonal) cells.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/rng.h"
+#include "particle/lattice.h"
+
+using namespace qmcxx;
+
+namespace
+{
+
+/// Brute-force minimum image: search 4 shells of images (test inputs
+/// reach several cell lengths).
+TinyVector<double, 3> brute_min_image(const Lattice& lat, const TinyVector<double, 3>& dr)
+{
+  TinyVector<double, 3> best = dr;
+  double best2 = norm2(dr);
+  const auto& a = lat.rows();
+  for (int i = -4; i <= 4; ++i)
+    for (int j = -4; j <= 4; ++j)
+      for (int k = -4; k <= 4; ++k)
+      {
+        const auto cand = dr + static_cast<double>(i) * a[0] + static_cast<double>(j) * a[1] +
+            static_cast<double>(k) * a[2];
+        if (norm2(cand) < best2)
+        {
+          best2 = norm2(cand);
+          best = cand;
+        }
+      }
+  return best;
+}
+
+} // namespace
+
+TEST(Lattice, CubicBasics)
+{
+  const Lattice lat = Lattice::cubic(4.0);
+  EXPECT_TRUE(lat.orthorhombic());
+  EXPECT_DOUBLE_EQ(lat.volume(), 64.0);
+  EXPECT_DOUBLE_EQ(lat.wigner_seitz_radius(), 2.0);
+}
+
+TEST(Lattice, HexagonalBasics)
+{
+  const Lattice lat = Lattice::hexagonal(4.6, 12.0);
+  EXPECT_FALSE(lat.orthorhombic());
+  EXPECT_NEAR(lat.volume(), 4.6 * 4.6 * std::sqrt(3.0) / 2.0 * 12.0, 1e-10);
+}
+
+TEST(Lattice, UnitCartRoundTrip)
+{
+  const Lattice lat = Lattice::hexagonal(3.1, 9.7);
+  RandomGenerator rng(5);
+  for (int t = 0; t < 50; ++t)
+  {
+    const TinyVector<double, 3> u{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const auto r = lat.to_cart(u);
+    const auto u2 = lat.to_unit(r);
+    for (unsigned d = 0; d < 3; ++d)
+      EXPECT_NEAR(u2[d], u[d], 1e-12);
+  }
+}
+
+TEST(Lattice, FoldedCoordinatesInUnitBox)
+{
+  const Lattice lat = Lattice::cubic(5.0);
+  RandomGenerator rng(17);
+  for (int t = 0; t < 100; ++t)
+  {
+    const TinyVector<double, 3> r{rng.uniform(-20, 20), rng.uniform(-20, 20),
+                                  rng.uniform(-20, 20)};
+    const auto u = lat.to_unit_folded(r);
+    for (unsigned d = 0; d < 3; ++d)
+    {
+      EXPECT_GE(u[d], 0.0);
+      EXPECT_LT(u[d], 1.0);
+    }
+  }
+}
+
+TEST(Lattice, ReciprocalVectorsSatisfyDuality)
+{
+  const Lattice lat = Lattice::hexagonal(4.0, 10.0);
+  const auto& a = lat.rows();
+  const auto& b = lat.reciprocal_rows();
+  for (unsigned i = 0; i < 3; ++i)
+    for (unsigned j = 0; j < 3; ++j)
+      EXPECT_NEAR(dot(a[i], b[j]), i == j ? 2 * M_PI : 0.0, 1e-10);
+}
+
+class LatticeMinImage : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LatticeMinImage, MatchesBruteForce)
+{
+  Lattice lat = (GetParam() == 0) ? Lattice::cubic(3.7)
+      : (GetParam() == 1)         ? Lattice::hexagonal(4.1, 6.5)
+                                  : Lattice({TinyVector<double, 3>{3.0, 0.1, 0.0},
+                                             TinyVector<double, 3>{-0.2, 2.8, 0.3},
+                                             TinyVector<double, 3>{0.0, 0.4, 3.3}});
+  RandomGenerator rng(23 + GetParam());
+  for (int t = 0; t < 200; ++t)
+  {
+    const TinyVector<double, 3> dr{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                                   rng.uniform(-10, 10)};
+    const auto got = lat.min_image(dr);
+    const auto want = brute_min_image(lat, dr);
+    EXPECT_NEAR(norm(got), norm(want), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, LatticeMinImage, ::testing::Values(0, 1, 2));
+
+TEST(Lattice, MinImageNormBoundedByWignerSeitzDiameter)
+{
+  const Lattice lat = Lattice::hexagonal(4.0, 7.0);
+  RandomGenerator rng(31);
+  // The minimum image never exceeds the circumscribed radius of the WS
+  // cell; a loose but useful invariant is |mi(dr)| <= |dr|.
+  for (int t = 0; t < 100; ++t)
+  {
+    const TinyVector<double, 3> dr{rng.uniform(-9, 9), rng.uniform(-9, 9), rng.uniform(-9, 9)};
+    EXPECT_LE(norm(lat.min_image(dr)), norm(dr) + 1e-12);
+  }
+}
+
+TEST(Lattice, DegenerateCellThrows)
+{
+  EXPECT_THROW(Lattice({TinyVector<double, 3>{1, 0, 0}, TinyVector<double, 3>{2, 0, 0},
+                        TinyVector<double, 3>{0, 0, 1}}),
+               std::invalid_argument);
+}

@@ -1,0 +1,321 @@
+// Unit tests: linear algebra, RNG, spherical quadrature and the 1D
+// cubic B-spline functor (value/derivative correctness, cusp and cutoff).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "containers/matrix.h"
+#include "numerics/cubic_bspline_1d.h"
+#include "numerics/linalg.h"
+#include "numerics/quadrature.h"
+#include "numerics/rng.h"
+#include "numerics/spline_builder.h"
+
+using namespace qmcxx;
+
+// ---------------------------------------------------------------------
+// linalg
+// ---------------------------------------------------------------------
+
+TEST(Linalg, InvertKnownMatrix)
+{
+  Matrix<double> a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 7;
+  a(1, 0) = 2;
+  a(1, 1) = 6;
+  Matrix<double> inv;
+  double logdet, sign;
+  linalg::invert_matrix(a, inv, logdet, sign);
+  EXPECT_NEAR(logdet, std::log(10.0), 1e-12);
+  EXPECT_EQ(sign, 1.0);
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(Linalg, InverseTimesOriginalIsIdentity)
+{
+  RandomGenerator rng(3);
+  const int n = 24;
+  Matrix<double> a(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a(i, j) = rng.uniform(-1, 1);
+  Matrix<double> inv;
+  double logdet, sign;
+  linalg::invert_matrix(a, inv, logdet, sign);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+    {
+      double s = 0;
+      for (int k = 0; k < n; ++k)
+        s += a(i, k) * inv(k, j);
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(Linalg, DeterminantSignTracksPermutation)
+{
+  // Row-swapped identity has det = -1.
+  Matrix<double> a(3, 3);
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(2, 2) = 1;
+  Matrix<double> inv;
+  double logdet, sign;
+  linalg::invert_matrix(a, inv, logdet, sign);
+  EXPECT_NEAR(logdet, 0.0, 1e-12);
+  EXPECT_EQ(sign, -1.0);
+}
+
+TEST(Linalg, SingularMatrixThrows)
+{
+  Matrix<double> a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  Matrix<double> inv;
+  double logdet, sign;
+  EXPECT_THROW(linalg::invert_matrix(a, inv, logdet, sign), std::runtime_error);
+}
+
+TEST(Linalg, GemvAndGer)
+{
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const double x[3] = {1, 1, 1};
+  double y[2] = {0, 0};
+  linalg::gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+
+  const double u[2] = {1, 2};
+  const double v[3] = {1, 0, -1};
+  linalg::ger(a, u, v, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3);  // 1 + 2*1*1
+  EXPECT_DOUBLE_EQ(a(1, 2), 2);  // 6 + 2*2*(-1)
+}
+
+TEST(Linalg, GemmMatchesManual)
+{
+  Matrix<double> a(2, 3), b(3, 2), c;
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      a(i, j) = v++;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      b(i, j) = v++;
+  linalg::gemm(a, b, c);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+  RandomGenerator a(123), b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformMomentsReasonable)
+{
+  RandomGenerator rng(42);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+  {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 5e-3);
+  EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, GaussianMomentsReasonable)
+{
+  RandomGenerator rng(42);
+  double sum = 0, sum2 = 0, sum4 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+  {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum2 / n, 1.0, 1e-2);
+  EXPECT_NEAR(sum4 / n, 3.0, 1e-1); // normal kurtosis
+}
+
+// ---------------------------------------------------------------------
+// spherical quadrature
+// ---------------------------------------------------------------------
+
+class QuadratureRule : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(QuadratureRule, WeightsSumToOneAndPointsAreUnit)
+{
+  const auto q = make_spherical_quadrature(GetParam());
+  double wsum = 0;
+  for (int i = 0; i < q.size(); ++i)
+  {
+    wsum += q.weights[i];
+    EXPECT_NEAR(norm(q.points[i]), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(wsum, 1.0, 1e-12);
+}
+
+TEST_P(QuadratureRule, IntegratesLowSphericalHarmonicsExactly)
+{
+  const auto q = make_spherical_quadrature(GetParam());
+  // Averages of x, y, z, xy, and x^2 - 1/3 over the sphere vanish.
+  double mx = 0, my = 0, mz = 0, mxy = 0, mx2 = 0;
+  for (int i = 0; i < q.size(); ++i)
+  {
+    const auto& p = q.points[i];
+    const double w = q.weights[i];
+    mx += w * p[0];
+    my += w * p[1];
+    mz += w * p[2];
+    mxy += w * p[0] * p[1];
+    mx2 += w * (p[0] * p[0] - 1.0 / 3.0);
+  }
+  EXPECT_NEAR(mx, 0.0, 1e-12);
+  EXPECT_NEAR(my, 0.0, 1e-12);
+  EXPECT_NEAR(mz, 0.0, 1e-12);
+  EXPECT_NEAR(mxy, 0.0, 1e-12);
+  EXPECT_NEAR(mx2, 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, QuadratureRule, ::testing::Values(4, 6, 12));
+
+TEST(Quadrature, UnsupportedRuleThrows)
+{
+  EXPECT_THROW(make_spherical_quadrature(5), std::invalid_argument);
+}
+
+TEST(Quadrature, LegendrePolynomials)
+{
+  EXPECT_DOUBLE_EQ(legendre_p(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(legendre_p(1, 0.3), 0.3);
+  EXPECT_NEAR(legendre_p(2, 0.3), 0.5 * (3 * 0.09 - 1), 1e-14);
+  // Recurrence branch (l = 4) vs closed form at x = 1: P_l(1) = 1.
+  EXPECT_NEAR(legendre_p(4, 1.0), 1.0, 1e-14);
+}
+
+// ---------------------------------------------------------------------
+// 1D cubic B-spline functor
+// ---------------------------------------------------------------------
+
+TEST(CubicBspline1D, InterpolatesTargetAtKnots)
+{
+  const double rc = 3.0;
+  const int m = 12;
+  auto shape = ee_jastrow_shape(-0.5, rc);
+  auto f = build_bspline_functor<double>(shape, -0.5, rc, m);
+  const double delta = rc / m;
+  // Interpolation is enforced at knots 0..m-2.
+  for (int i = 0; i <= m - 2; ++i)
+    EXPECT_NEAR(f.evaluate(i * delta), shape(i * delta), 1e-10) << "knot " << i;
+}
+
+TEST(CubicBspline1D, CuspConditionAtOrigin)
+{
+  const double rc = 3.0;
+  const double cusp = -0.5;
+  auto f = build_bspline_functor<double>(ee_jastrow_shape(cusp, rc), cusp, rc, 12);
+  double du, d2u;
+  f.evaluate(0.0, du, d2u);
+  EXPECT_NEAR(du, cusp, 1e-10);
+}
+
+TEST(CubicBspline1D, VanishesSmoothlyAtCutoff)
+{
+  const double rc = 2.5;
+  auto f = build_bspline_functor<double>(ee_jastrow_shape(-0.25, rc), -0.25, rc, 10);
+  double du, d2u;
+  const double just_in = rc * (1.0 - 1e-9);
+  const double u = f.evaluate(just_in, du, d2u);
+  EXPECT_NEAR(u, 0.0, 1e-7);
+  EXPECT_NEAR(du, 0.0, 1e-6);
+  EXPECT_EQ(f.evaluate(rc), 0.0);
+  EXPECT_EQ(f.evaluate(rc + 1.0), 0.0);
+}
+
+TEST(CubicBspline1D, DerivativesMatchFiniteDifference)
+{
+  const double rc = 3.0;
+  auto f = build_bspline_functor<double>(ee_jastrow_shape(-0.5, rc), -0.5, rc, 14);
+  const double h = 1e-6;
+  for (double r : {0.3, 0.77, 1.5, 2.2, 2.8})
+  {
+    double du, d2u;
+    f.evaluate(r, du, d2u);
+    const double fd_du = (f.evaluate(r + h) - f.evaluate(r - h)) / (2 * h);
+    const double fd_d2u = (f.evaluate(r + h) - 2 * f.evaluate(r) + f.evaluate(r - h)) / (h * h);
+    EXPECT_NEAR(du, fd_du, 1e-6) << "r=" << r;
+    EXPECT_NEAR(d2u, fd_d2u, 1e-4) << "r=" << r;
+  }
+}
+
+TEST(CubicBspline1D, EvaluateVMatchesScalarSum)
+{
+  const double rc = 3.0;
+  auto f = build_bspline_functor<float>(ee_jastrow_shape(-0.5, rc), -0.5, rc, 12);
+  aligned_vector<float> dist = {0.5f, 1.0f, 3.5f, 2.0f, 0.1f, 2.9f};
+  float expect = 0;
+  for (std::size_t j = 0; j < dist.size(); ++j)
+    if (j != 2U) // skip index 2 below
+      expect += f.evaluate(dist[j]);
+  const float got = f.evaluateV(dist.data(), dist.size(), 2);
+  EXPECT_NEAR(got, expect, 1e-6f);
+}
+
+TEST(CubicBspline1D, EvaluateVGLZeroesBeyondCutoffAndSkip)
+{
+  const double rc = 2.0;
+  auto f = build_bspline_functor<float>(ee_jastrow_shape(-0.5, rc), -0.5, rc, 12);
+  aligned_vector<float> dist = {0.5f, 5.0f, 1.0f};
+  aligned_vector<float> u(3), dur(3), d2u(3);
+  f.evaluateVGL(dist.data(), u.data(), dur.data(), d2u.data(), 3, 0);
+  EXPECT_EQ(u[0], 0.0f);   // skipped
+  EXPECT_EQ(u[1], 0.0f);   // beyond cutoff
+  EXPECT_NE(u[2], 0.0f);
+  EXPECT_EQ(dur[1], 0.0f);
+  EXPECT_EQ(d2u[1], 0.0f);
+}
+
+TEST(SplineBuilder, RejectsTooFewSegments)
+{
+  EXPECT_THROW(build_bspline_functor<double>(ee_jastrow_shape(-0.5, 1.0), -0.5, 1.0, 3),
+               std::invalid_argument);
+}
+
+TEST(SplineBuilder, EiShapeHasZeroSlopeAtOrigin)
+{
+  auto shape = ei_jastrow_shape(-0.6, 1.2, 3.0);
+  const double h = 1e-6;
+  EXPECT_NEAR((shape(h) - shape(0.0)) / h, 0.0, 1e-4);
+  EXPECT_NEAR(shape(3.0), 0.0, 1e-14);
+}

@@ -1,0 +1,67 @@
+// Shared fixtures: small synthetic particle systems for unit tests.
+#ifndef QMCXX_TESTS_TEST_UTILS_H
+#define QMCXX_TESTS_TEST_UTILS_H
+
+#include <memory>
+
+#include "numerics/rng.h"
+#include "numerics/spline_builder.h"
+#include "particle/distance_table_aos.h"
+#include "particle/distance_table_soa.h"
+#include "particle/lattice.h"
+#include "particle/particle_set.h"
+
+namespace qmcxx::testing
+{
+
+/// Scatter n particles uniformly in the cell (deterministic).
+template<typename TR>
+void randomize_positions(ParticleSet<TR>& p, RandomGenerator& rng)
+{
+  for (auto& r : p.R)
+  {
+    const TinyVector<double, 3> u{rng.uniform(), rng.uniform(), rng.uniform()};
+    r = p.lattice().to_cart(u);
+  }
+  p.Rsoa = p.R;
+}
+
+/// Two-species electron set (up/down) in a cubic cell.
+template<typename TR>
+std::unique_ptr<ParticleSet<TR>> make_electrons(int nup, int ndown, double box,
+                                                std::uint64_t seed = 7)
+{
+  auto p = std::make_unique<ParticleSet<TR>>("e", Lattice::cubic(box));
+  p->add_species("u", -1.0);
+  p->add_species("d", -1.0);
+  p->create({nup, ndown});
+  RandomGenerator rng(seed);
+  randomize_positions(*p, rng);
+  return p;
+}
+
+/// Two-species ion set in the same cell.
+template<typename TR>
+std::unique_ptr<ParticleSet<TR>> make_ions(int na, int nb, double box, std::uint64_t seed = 11)
+{
+  auto p = std::make_unique<ParticleSet<TR>>("ion", Lattice::cubic(box));
+  p->add_species("A", 4.0);
+  p->add_species("B", 6.0);
+  p->create({na, nb});
+  RandomGenerator rng(seed);
+  randomize_positions(*p, rng);
+  return p;
+}
+
+/// A short-ranged test functor: smooth well with cusp, cutoff rc.
+template<typename TR>
+std::shared_ptr<CubicBsplineFunctor<TR>> make_test_functor(double rc, double cusp = -0.5,
+                                                           int knots = 10)
+{
+  return std::make_shared<CubicBsplineFunctor<TR>>(
+      build_bspline_functor<TR>(ee_jastrow_shape(cusp, rc), cusp, rc, knots));
+}
+
+} // namespace qmcxx::testing
+
+#endif

@@ -1,0 +1,146 @@
+// Unit tests: the four benchmark workload definitions must match the
+// paper's Table 1 invariants and produce physically sane geometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/config.h"
+#include "workloads/workloads.h"
+
+using namespace qmcxx;
+
+class WorkloadTable1 : public ::testing::TestWithParam<Workload>
+{};
+
+TEST_P(WorkloadTable1, ElectronCountMatchesIonCharges)
+{
+  const WorkloadInfo& w = workload_info(GetParam());
+  double total_charge = 0;
+  for (std::size_t s = 0; s < w.species.size(); ++s)
+    total_charge += w.species[s].charge * w.ion_counts[s];
+  EXPECT_EQ(w.num_electrons, static_cast<int>(total_charge)) << w.name;
+}
+
+TEST_P(WorkloadTable1, IonCountsConsistent)
+{
+  const WorkloadInfo& w = workload_info(GetParam());
+  int total = 0;
+  for (int c : w.ion_counts)
+    total += c;
+  EXPECT_EQ(total, w.num_ions);
+  EXPECT_EQ(static_cast<int>(w.ion_positions.size()), w.num_ions);
+  EXPECT_EQ(w.num_ions, w.ions_per_unit_cell * w.num_unit_cells);
+}
+
+TEST_P(WorkloadTable1, OrbitalsAreHalfTheElectrons)
+{
+  const WorkloadInfo& w = workload_info(GetParam());
+  EXPECT_EQ(w.num_orbitals, w.num_electrons / 2);
+}
+
+TEST_P(WorkloadTable1, IonsInsideCellAndSeparated)
+{
+  const WorkloadInfo& w = workload_info(GetParam());
+  // All ions fold into the unit cube.
+  for (const auto& r : w.ion_positions)
+  {
+    const auto u = w.lattice.to_unit_folded(r);
+    for (unsigned d = 0; d < 3; ++d)
+    {
+      EXPECT_GE(u[d], 0.0);
+      EXPECT_LT(u[d], 1.0);
+    }
+  }
+  // No two ions closer than 1.5 bohr (minimum image).
+  double min_dist = 1e9;
+  for (std::size_t i = 0; i < w.ion_positions.size(); ++i)
+    for (std::size_t j = i + 1; j < w.ion_positions.size(); ++j)
+      min_dist = std::min(min_dist,
+                          norm(w.lattice.min_image(w.ion_positions[j] - w.ion_positions[i])));
+  EXPECT_GT(min_dist, 1.5) << w.name;
+}
+
+TEST_P(WorkloadTable1, JastrowCutoffsFitTheCell)
+{
+  const WorkloadInfo& w = workload_info(GetParam());
+  EXPECT_GT(w.lattice.wigner_seitz_radius(), 1.5);
+  for (const auto& sp : w.species)
+  {
+    EXPECT_GT(sp.j1_width, 0);
+    if (sp.nl_amplitude != 0)
+      EXPECT_LT(sp.nl_rcut, w.lattice.wigner_seitz_radius());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTable1,
+                         ::testing::Values(Workload::Graphite, Workload::Be64, Workload::NiO32,
+                                           Workload::NiO64),
+                         [](const ::testing::TestParamInfo<Workload>& info) {
+                           switch (info.param)
+                           {
+                           case Workload::Graphite: return std::string("Graphite");
+                           case Workload::Be64: return std::string("Be64");
+                           case Workload::NiO32: return std::string("NiO32");
+                           default: return std::string("NiO64");
+                           }
+                         });
+
+TEST(Workloads, PaperTable1Values)
+{
+  // Pin the exact Table 1 metadata the benches print.
+  const auto& g = workload_info(Workload::Graphite);
+  EXPECT_EQ(g.num_electrons, 256);
+  EXPECT_EQ(g.num_ions, 64);
+  EXPECT_EQ(g.paper_unique_spos, 80);
+  const auto& be = workload_info(Workload::Be64);
+  EXPECT_EQ(be.num_electrons, 256);
+  EXPECT_FALSE(be.has_pseudopotential);
+  const auto& n32 = workload_info(Workload::NiO32);
+  EXPECT_EQ(n32.num_electrons, 384);
+  EXPECT_EQ(n32.num_ions, 32);
+  EXPECT_EQ(n32.species[0].charge, 18.0); // Ni
+  EXPECT_EQ(n32.species[1].charge, 6.0);  // O
+  const auto& n64 = workload_info(Workload::NiO64);
+  EXPECT_EQ(n64.num_electrons, 768);
+  EXPECT_EQ(n64.num_ions, 64);
+  EXPECT_DOUBLE_EQ(n64.paper_spline_gb, 2.1);
+}
+
+TEST(Workloads, NiOIsRocksalt)
+{
+  // Every Ni must have O as nearest neighbours at a0/2.
+  const auto& w = workload_info(Workload::NiO32);
+  const int n_ni = w.ion_counts[0];
+  const double a_half = 7.89 / 2.0;
+  for (int i = 0; i < n_ni; ++i)
+  {
+    double nearest_o = 1e9;
+    for (int j = n_ni; j < w.num_ions; ++j)
+      nearest_o = std::min(nearest_o,
+                           norm(w.lattice.min_image(w.ion_positions[j] - w.ion_positions[i])));
+    EXPECT_NEAR(nearest_o, a_half, 1e-9) << i;
+  }
+}
+
+TEST(Workloads, HexagonalCellsForGraphiteAndBe)
+{
+  EXPECT_FALSE(workload_info(Workload::Graphite).lattice.orthorhombic());
+  EXPECT_FALSE(workload_info(Workload::Be64).lattice.orthorhombic());
+  EXPECT_TRUE(workload_info(Workload::NiO32).lattice.orthorhombic());
+  EXPECT_TRUE(workload_info(Workload::NiO64).lattice.orthorhombic());
+}
+
+TEST(Workloads, SplineTableOrderingMatchesPaper)
+{
+  // The paper's spline tables order Graphite < NiO-32 ~ Be-64 < NiO-64;
+  // the scaled qmcxx grids preserve Graphite smallest / NiO-64 largest.
+  auto bytes = [](Workload w) {
+    const auto& i = workload_info(w);
+    return static_cast<std::size_t>(i.grid[0] + 3) * (i.grid[1] + 3) * (i.grid[2] + 3) *
+        getAlignedSize<float>(i.num_orbitals);
+  };
+  EXPECT_LT(bytes(Workload::Graphite), bytes(Workload::Be64));
+  EXPECT_LT(bytes(Workload::Graphite), bytes(Workload::NiO32));
+  EXPECT_LT(bytes(Workload::NiO32), bytes(Workload::NiO64));
+  EXPECT_LT(bytes(Workload::Be64), bytes(Workload::NiO64));
+}

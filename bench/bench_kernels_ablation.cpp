@@ -7,6 +7,7 @@
 // the full-application gains.
 #include <benchmark/benchmark.h>
 
+#include "drivers/crowd.h"
 #include "numerics/linalg.h"
 #include "numerics/rng.h"
 #include "numerics/spline_builder.h"
@@ -15,6 +16,7 @@
 #include "wavefunction/delayed_update.h"
 #include "wavefunction/jastrow_two_body.h"
 #include "wavefunction/spo_set.h"
+#include "workloads/system_builder.h"
 
 using namespace qmcxx;
 
@@ -218,6 +220,68 @@ void bm_sherman_morrison(benchmark::State& state)
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Crowd-size ablation on the Graphite workload: one full-wavefunction
+/// ratio_grad per walker per iteration, either through the batched
+/// mw_ratio_grad path (shared SPO batch, single dispatch per component)
+/// or the scalar per-walker loop it replaces. Compare items/sec at the
+/// same crowd size; crowd 1 measures the batched path's overhead floor.
+template<bool BATCHED>
+void bm_crowd_ratio_grad(benchmark::State& state)
+{
+  const int nw = static_cast<int>(state.range(0));
+  const WorkloadInfo& info = workload_info(Workload::Graphite);
+  BuildOptions opt;
+  opt.with_hamiltonian = false;
+  auto sys = build_system<float>(info, opt);
+
+  Crowd<float> crowd(*sys.elec, *sys.twf, nullptr, nw);
+  std::vector<std::unique_ptr<Walker>> walkers;
+  std::vector<RandomGenerator> rngs;
+  RandomGenerator init_rng(13);
+  for (int iw = 0; iw < nw; ++iw)
+  {
+    auto w = std::make_unique<Walker>(sys.elec->size());
+    for (int i = 0; i < sys.elec->size(); ++i)
+      w->R[i] = sys.elec->R[i] +
+          TinyVector<double, 3>{0.1 * init_rng.gaussian(), 0.1 * init_rng.gaussian(),
+                                0.1 * init_rng.gaussian()};
+    walkers.push_back(std::move(w));
+    rngs.emplace_back(500 + iw);
+  }
+  crowd.acquire(walkers.data(), rngs.data(), nw, /*recompute=*/true);
+
+  const int nel = sys.elec->size();
+  std::vector<TinyVector<double, 3>> rnew(nw);
+  std::vector<char> reject_all(nw, 0);
+  int k = 0;
+  for (auto _ : state)
+  {
+    ParticleSet<float>::mw_prepare_move(crowd.p_refs(), k);
+    for (int iw = 0; iw < nw; ++iw)
+      rnew[iw] = crowd.elec(iw).R[k] + TinyVector<double, 3>{0.1, -0.1, 0.05};
+    ParticleSet<float>::mw_make_move(crowd.p_refs(), k, rnew);
+    if constexpr (BATCHED)
+    {
+      TrialWaveFunction<float>::mw_ratio_grad(crowd.twf_refs(), crowd.p_refs(), k, crowd.ratios,
+                                              crowd.grads, crowd.resources());
+      benchmark::DoNotOptimize(crowd.ratios.data());
+      TrialWaveFunction<float>::mw_accept_reject(crowd.twf_refs(), crowd.p_refs(), k, reject_all,
+                                                 crowd.resources());
+    }
+    else
+    {
+      for (int iw = 0; iw < nw; ++iw)
+      {
+        TinyVector<double, 3> grad{};
+        benchmark::DoNotOptimize(crowd.twf(iw).calc_ratio_grad(crowd.elec(iw), k, grad));
+        crowd.twf(iw).reject_move(crowd.elec(iw), k);
+      }
+    }
+    k = (k + 1) % nel;
+  }
+  state.SetItemsProcessed(state.iterations() * nw);
+}
+
 void bm_forward_vs_onthefly(benchmark::State& state)
 {
   const auto mode = state.range(0) == 0 ? DTUpdateMode::ForwardUpdate : DTUpdateMode::OnTheFly;
@@ -258,5 +322,15 @@ BENCHMARK(bm_forward_vs_onthefly)
     ->Name("DistTable/accept/forward-vs-onthefly")
     ->Arg(0)
     ->Arg(1);
+BENCHMARK_TEMPLATE(bm_crowd_ratio_grad, false)
+    ->Name("Crowd/ratio_grad/scalar-loop")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
+BENCHMARK_TEMPLATE(bm_crowd_ratio_grad, true)
+    ->Name("Crowd/ratio_grad/mw-batched")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
 
 BENCHMARK_MAIN();

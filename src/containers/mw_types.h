@@ -1,0 +1,63 @@
+// Shared vocabulary of the multi-walker (crowd) batched API.
+//
+// A "crowd" is a batch of walkers evaluated together so that kernels can
+// amortize shared work (spline-table traversals, timer scopes, virtual
+// dispatch) across walkers. Batched entry points follow QMCPACK's mw_*
+// convention: the call is made once on a leader object and receives
+// parallel lists -- one entry per walker -- of the per-walker objects it
+// operates on. RefVector is the list currency; MWResource is the opaque
+// per-crowd scratch a component may allocate once and reuse across every
+// batched call (the resource acquire/release handshake that replaces
+// per-walker buffer churn inside a sweep).
+#ifndef QMCXX_CONTAINERS_MW_TYPES_H
+#define QMCXX_CONTAINERS_MW_TYPES_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "containers/tiny_vector.h"
+
+namespace qmcxx
+{
+
+/// Parallel list of per-walker objects for a batched call. Entry 0 is
+/// the "leader" whose virtual override executes the batch.
+template<typename T>
+using RefVector = std::vector<std::reference_wrapper<T>>;
+
+/// Opaque per-crowd scratch owned by the caller and threaded through the
+/// mw_* calls of one component. Components that batch genuinely (e.g.
+/// DiracDeterminant's shared SPO evaluation) subclass this; components
+/// on the flat-loop fallback ignore it (nullptr is always legal).
+class MWResource
+{
+public:
+  virtual ~MWResource() = default;
+};
+
+/// One resource slot per wavefunction component, plus the orchestration
+/// scratch TrialWaveFunction::mw_* needs (per-component ratio/grad
+/// accumulators sized to the crowd). Created once per crowd via
+/// TrialWaveFunction::make_mw_resources and reused for every batched
+/// call -- this is the acquire side of the handshake; release is simply
+/// destruction with the crowd.
+class MWResourceSet
+{
+public:
+  std::vector<std::unique_ptr<MWResource>> per_component;
+
+  /// Scratch for the product/sum reduction over components.
+  std::vector<double> ratio_scratch;
+  std::vector<TinyVector<double, 3>> grad_scratch;
+
+  MWResource* get(std::size_t component) const
+  {
+    return component < per_component.size() ? per_component[component].get() : nullptr;
+  }
+  int num_walkers() const { return static_cast<int>(ratio_scratch.size()); }
+};
+
+} // namespace qmcxx
+
+#endif

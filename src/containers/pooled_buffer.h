@@ -69,6 +69,11 @@ public:
 
   std::size_t size() const { return data_.size(); }
   std::size_t cursor() const { return cursor_; }
+
+  /// Raw byte view, for bit-exact round-trip checks and cross-rank
+  /// shipping. The layout is only meaningful to the components that
+  /// registered it, in registration order.
+  const char* data() const { return data_.data(); }
   void clear()
   {
     data_.clear();

@@ -1,10 +1,20 @@
 // Implementation of the templated QMC drivers (included by the explicit
 // instantiation units vmc.cpp / dmc.cpp).
+//
+// Generations iterate crowds, not single walkers: the population is cut
+// into slices of crowd_size, each slice is staged into a per-thread
+// Crowd (acquire), all walkers in the crowd move every electron in
+// lockstep through the batched mw_* API, and the slice is streamed back
+// (release). crowd_size == 1 takes the legacy per-walker sweep, which
+// produces bit-identical chains because each walker's RNG stream is
+// private to it in both paths.
 #ifndef QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 #define QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include <omp.h>
 
@@ -26,6 +36,21 @@ inline TinyVector<double, 3> limited_drift(const TinyVector<double, 3>& grad, do
   return tau_eff * grad;
 }
 
+inline void validate_config(const DriverConfig& c)
+{
+  if (!(c.tau > 0.0))
+    throw std::invalid_argument("DriverConfig: tau must be > 0, got " + std::to_string(c.tau));
+  if (c.num_walkers <= 0)
+    throw std::invalid_argument("DriverConfig: num_walkers must be > 0, got " +
+                                std::to_string(c.num_walkers));
+  if (c.steps < 0)
+    throw std::invalid_argument("DriverConfig: steps must be >= 0, got " +
+                                std::to_string(c.steps));
+  if (c.crowd_size <= 0)
+    throw std::invalid_argument("DriverConfig: crowd_size must be > 0, got " +
+                                std::to_string(c.crowd_size));
+}
+
 } // namespace detail
 
 template<typename TR>
@@ -34,25 +59,25 @@ QMCDriver<TR>::QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hami
     : elec_proto_(elec), twf_proto_(twf), ham_proto_(ham), config_(config),
       branch_rng_(config.seed ^ 0xb1a2c3d4e5f60718ull)
 {
+  detail::validate_config(config_);
   if (config_.threads > 0)
     omp_set_num_threads(config_.threads);
-  make_thread_contexts();
+  make_crowd_contexts();
 }
 
 template<typename TR>
 QMCDriver<TR>::~QMCDriver() = default;
 
 template<typename TR>
-void QMCDriver<TR>::make_thread_contexts()
+void QMCDriver<TR>::make_crowd_contexts()
 {
   const int nthreads = config_.threads > 0 ? config_.threads : omp_get_max_threads();
   contexts_.clear();
   for (int t = 0; t < nthreads; ++t)
   {
-    ThreadContext<TR> ctx;
-    ctx.elec = elec_proto_.clone();
-    ctx.twf = twf_proto_.clone();
-    ctx.ham = ham_proto_.clone();
+    CrowdContext<TR> ctx;
+    ctx.crowd =
+        std::make_unique<Crowd<TR>>(elec_proto_, twf_proto_, &ham_proto_, config_.crowd_size);
     contexts_.push_back(std::move(ctx));
   }
 }
@@ -62,23 +87,28 @@ void QMCDriver<TR>::initialize_population()
 {
   pop_.walkers.clear();
   pop_.rngs.clear();
-  auto& ctx = contexts_.front();
+  Crowd<TR>& crowd = *contexts_.front().crowd;
+  ParticleSet<TR>& elec = crowd.elec(0);
+  TrialWaveFunction<TR>& twf = crowd.twf(0);
+  Hamiltonian<TR>& ham = crowd.ham(0);
   for (int iw = 0; iw < config_.num_walkers; ++iw)
   {
     auto w = std::make_unique<Walker>(elec_proto_.size());
-    w->id = static_cast<std::uint64_t>(iw);
+    // Ids start at 1: parent_id == 0 is the founder sentinel, so no
+    // walker may actually own id 0.
+    w->id = static_cast<std::uint64_t>(iw) + 1;
     RandomGenerator rng(config_.seed + 7919ull * static_cast<std::uint64_t>(iw));
     // Jittered copy of the prototype configuration.
     for (int i = 0; i < elec_proto_.size(); ++i)
       w->R[i] = elec_proto_.R[i] +
           TinyVector<double, 3>{0.1 * rng.gaussian(), 0.1 * rng.gaussian(), 0.1 * rng.gaussian()};
     // Register and fill the anonymous buffer (paper Fig. 4).
-    ctx.elec->load_walker(*w);
-    ctx.elec->update();
-    ctx.twf->evaluate_log(*ctx.elec);
-    ctx.twf->register_data(w->buffer);
-    ctx.twf->update_buffer(*w);
-    w->local_energy = ctx.ham->evaluate(*ctx.elec, *ctx.twf);
+    elec.load_walker(*w);
+    elec.update();
+    twf.evaluate_log(elec);
+    twf.register_data(w->buffer);
+    twf.update_buffer(*w);
+    w->local_energy = ham.evaluate(elec, twf);
     w->old_local_energy = w->local_energy;
     pop_.walkers.push_back(std::move(w));
     pop_.rngs.push_back(rng);
@@ -86,12 +116,12 @@ void QMCDriver<TR>::initialize_population()
 }
 
 template<typename TR>
-typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(ThreadContext<TR>& ctx, Walker& w,
+typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR>& ctx, Walker& w,
                                                                  RandomGenerator& rng,
                                                                  bool recompute)
 {
-  ParticleSet<TR>& p = *ctx.elec;
-  TrialWaveFunction<TR>& twf = *ctx.twf;
+  ParticleSet<TR>& p = ctx.crowd->elec(0);
+  TrialWaveFunction<TR>& twf = ctx.crowd->twf(0);
   const double tau = config_.tau;
   const double sqrt_tau = std::sqrt(tau);
   const int n = p.size();
@@ -146,7 +176,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(ThreadContext<T
 
   // Measurement (Alg. 1 L11): refresh tables, then E_L.
   p.update();
-  out.local_energy = ctx.ham->evaluate(p, twf);
+  out.local_energy = ctx.crowd->ham(0).evaluate(p, twf);
   twf.update_buffer(w);
   p.store_walker(w);
   w.old_local_energy = w.local_energy;
@@ -156,10 +186,96 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(ThreadContext<T
 }
 
 template<typename TR>
+typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>& ctx, int first,
+                                                                int n, bool recompute)
+{
+  Crowd<TR>& crowd = *ctx.crowd;
+  crowd.acquire(&pop_.walkers[first], &pop_.rngs[first], n, recompute);
+  const double tau = config_.tau;
+  const double sqrt_tau = std::sqrt(tau);
+  const int nel = crowd.elec(0).size();
+
+  SweepOutcome out;
+  for (int iw = 0; iw < n; ++iw)
+    crowd.naccept[iw] = 0;
+  for (int k = 0; k < nel; ++k)
+  {
+    ParticleSet<TR>::mw_prepare_move(crowd.p_refs(), k);
+    if (config_.use_drift)
+    {
+      TrialWaveFunction<TR>::mw_eval_grad(crowd.twf_refs(), crowd.p_refs(), k,
+                                          crowd.grads.data());
+      for (int iw = 0; iw < n; ++iw)
+        crowd.drift[iw] = detail::limited_drift(crowd.grads[iw], tau);
+    }
+    else
+    {
+      for (int iw = 0; iw < n; ++iw)
+        crowd.drift[iw] = TinyVector<double, 3>{};
+    }
+    for (int iw = 0; iw < n; ++iw)
+    {
+      // Per-walker draws in the same order as the scalar sweep, so the
+      // chains are identical at every crowd size.
+      RandomGenerator& rng = crowd.rng(iw);
+      const double g0 = rng.gaussian(), g1 = rng.gaussian(), g2 = rng.gaussian();
+      crowd.chi[iw] = TinyVector<double, 3>{sqrt_tau * g0, sqrt_tau * g1, sqrt_tau * g2};
+      crowd.rnew[iw] = crowd.elec(iw).R[k] + crowd.drift[iw] + crowd.chi[iw];
+    }
+    ParticleSet<TR>::mw_make_move(crowd.p_refs(), k, crowd.rnew);
+    TrialWaveFunction<TR>::mw_ratio_grad(crowd.twf_refs(), crowd.p_refs(), k, crowd.ratios,
+                                         crowd.grads, crowd.resources());
+    for (int iw = 0; iw < n; ++iw)
+    {
+      const double ratio = crowd.ratios[iw];
+      ++out.proposed;
+      bool accept = false;
+      if (std::isfinite(ratio) && ratio > 0.0) // fixed-node: reject node crossings
+      {
+        double log_gf = 0.0;
+        if (config_.use_drift)
+        {
+          const TinyVector<double, 3> drift_new = detail::limited_drift(crowd.grads[iw], tau);
+          const TinyVector<double, 3> back =
+              crowd.elec(iw).R[k] - crowd.rnew[iw] - drift_new; // R - R' - D(R')
+          const TinyVector<double, 3> fwd = crowd.chi[iw];      // R' - R - D(R)
+          log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
+        }
+        const double prob = ratio * ratio * std::exp(log_gf);
+        accept = crowd.rng(iw).uniform() < prob;
+      }
+      crowd.accept[iw] = accept ? 1 : 0;
+      if (accept)
+      {
+        ++out.accepted;
+        ++crowd.naccept[iw];
+      }
+    }
+    TrialWaveFunction<TR>::mw_accept_reject(crowd.twf_refs(), crowd.p_refs(), k, crowd.accept,
+                                            crowd.resources());
+  }
+
+  // Measurement (Alg. 1 L11): refresh tables, then batched E_L.
+  ParticleSet<TR>::mw_update(crowd.p_refs());
+  Hamiltonian<TR>::mw_evaluate(crowd.ham_refs(), crowd.twf_refs(), crowd.p_refs(),
+                               crowd.resources(), crowd.energies.data());
+  crowd.release();
+  for (int iw = 0; iw < n; ++iw)
+  {
+    Walker& w = crowd.walker(iw);
+    w.old_local_energy = w.local_energy;
+    w.local_energy = crowd.energies[iw];
+    w.age = crowd.naccept[iw] > 0 ? 0 : w.age + 1;
+  }
+  return out;
+}
+
+template<typename TR>
 RunResult QMCDriver<TR>::run_vmc()
 {
   RunResult result;
   const auto t0 = std::chrono::steady_clock::now();
+  const int cs = config_.crowd_size;
   for (int gen = 0; gen < config_.steps; ++gen)
   {
     const bool recompute =
@@ -167,15 +283,39 @@ RunResult QMCDriver<TR>::run_vmc()
     double e_sum = 0.0, e2_sum = 0.0;
     std::int64_t accepted = 0, proposed = 0;
     const int nw = pop_.size();
-#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
-    for (int iw = 0; iw < nw; ++iw)
+    if (cs <= 1)
     {
-      ThreadContext<TR>& ctx = contexts_[omp_get_thread_num()];
-      const SweepOutcome out = sweep_walker(ctx, *pop_.walkers[iw], pop_.rngs[iw], recompute);
-      e_sum += out.local_energy;
-      e2_sum += out.local_energy * out.local_energy;
-      accepted += out.accepted;
-      proposed += out.proposed;
+      // Legacy per-walker path (the crowd_size == 1 degenerate case).
+#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
+      for (int iw = 0; iw < nw; ++iw)
+      {
+        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
+        const SweepOutcome out = sweep_walker(ctx, *pop_.walkers[iw], pop_.rngs[iw], recompute);
+        e_sum += out.local_energy;
+        e2_sum += out.local_energy * out.local_energy;
+        accepted += out.accepted;
+        proposed += out.proposed;
+      }
+    }
+    else
+    {
+      const int ncrowds = (nw + cs - 1) / cs;
+#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
+      for (int ic = 0; ic < ncrowds; ++ic)
+      {
+        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
+        const int lo = ic * cs;
+        const int count = nw - lo < cs ? nw - lo : cs;
+        const SweepOutcome out = sweep_crowd(ctx, lo, count, recompute);
+        accepted += out.accepted;
+        proposed += out.proposed;
+        for (int iw = lo; iw < lo + count; ++iw)
+        {
+          const Walker& w = *pop_.walkers[iw];
+          e_sum += w.local_energy;
+          e2_sum += w.local_energy * w.local_energy;
+        }
+      }
     }
     GenerationStats stats;
     stats.num_walkers = nw;
@@ -219,6 +359,7 @@ RunResult QMCDriver<TR>::run_dmc()
   trial_energy_ = e0 / pop_.size();
 
   const double tau = config_.tau;
+  const int cs = config_.crowd_size;
   const auto t0 = std::chrono::steady_clock::now();
   for (int gen = 0; gen < config_.steps; ++gen)
   {
@@ -227,23 +368,53 @@ RunResult QMCDriver<TR>::run_dmc()
     double ew_sum = 0.0, e2w_sum = 0.0, w_sum = 0.0;
     std::int64_t accepted = 0, proposed = 0;
     const int nw = pop_.size();
+    if (cs <= 1)
+    {
+      // Legacy per-walker path (the crowd_size == 1 degenerate case).
 #pragma omp parallel for schedule(dynamic) \
     reduction(+ : ew_sum, e2w_sum, w_sum, accepted, proposed)
-    for (int iw = 0; iw < nw; ++iw)
+      for (int iw = 0; iw < nw; ++iw)
+      {
+        Walker& w = *pop_.walkers[iw];
+        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
+        const SweepOutcome out = sweep_walker(ctx, w, pop_.rngs[iw], recompute);
+        // Reweight (Alg. 1 L13): symmetric local-energy average.
+        const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
+        double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
+        branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
+        w.weight *= branch_weight;
+        ew_sum += w.weight * w.local_energy;
+        e2w_sum += w.weight * w.local_energy * w.local_energy;
+        w_sum += w.weight;
+        accepted += out.accepted;
+        proposed += out.proposed;
+      }
+    }
+    else
     {
-      Walker& w = *pop_.walkers[iw];
-      ThreadContext<TR>& ctx = contexts_[omp_get_thread_num()];
-      const SweepOutcome out = sweep_walker(ctx, w, pop_.rngs[iw], recompute);
-      // Reweight (Alg. 1 L13): symmetric local-energy average.
-      const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
-      double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
-      branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
-      w.weight *= branch_weight;
-      ew_sum += w.weight * w.local_energy;
-      e2w_sum += w.weight * w.local_energy * w.local_energy;
-      w_sum += w.weight;
-      accepted += out.accepted;
-      proposed += out.proposed;
+      const int ncrowds = (nw + cs - 1) / cs;
+#pragma omp parallel for schedule(dynamic) \
+    reduction(+ : ew_sum, e2w_sum, w_sum, accepted, proposed)
+      for (int ic = 0; ic < ncrowds; ++ic)
+      {
+        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
+        const int lo = ic * cs;
+        const int count = nw - lo < cs ? nw - lo : cs;
+        const SweepOutcome out = sweep_crowd(ctx, lo, count, recompute);
+        accepted += out.accepted;
+        proposed += out.proposed;
+        for (int iw = lo; iw < lo + count; ++iw)
+        {
+          Walker& w = *pop_.walkers[iw];
+          const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
+          double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
+          branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
+          w.weight *= branch_weight;
+          ew_sum += w.weight * w.local_energy;
+          e2w_sum += w.weight * w.local_energy * w.local_energy;
+          w_sum += w.weight;
+        }
+      }
     }
     GenerationStats stats;
     stats.num_walkers = nw;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "drivers/crowd.h"
 #include "hamiltonian/hamiltonian.h"
 #include "numerics/rng.h"
 #include "particle/particle_set.h"
@@ -33,6 +34,10 @@ struct DriverConfig
   double feedback = 0.1;       ///< trial-energy population feedback
   int threads = 0;             ///< OpenMP threads; 0 = runtime default
   bool use_drift = true;       ///< importance-sampled proposals
+  /// Walkers evaluated together through the batched mw_* path; 1 selects
+  /// the legacy per-walker loop. Identical seeds give identical chains
+  /// at every crowd size (walker RNG streams are private).
+  int crowd_size = 4;
 };
 
 /// Per-generation record (Alg. 1 bookkeeping).
@@ -57,13 +62,14 @@ struct RunResult
   double throughput = 0.0;         ///< samples per second (paper Sec. 6.2)
 };
 
-/// Per-thread compute objects (paper Fig. 4: E_th, Psi_th).
+/// Per-thread compute resources: one crowd of `crowd_size` slots (the
+/// paper's Fig. 4 E_th/Psi_th clones, widened to a batch) plus its
+/// per-crowd mw_* scratch. Slot 0 doubles as the legacy single-walker
+/// context when crowd_size == 1.
 template<typename TR>
-struct ThreadContext
+struct CrowdContext
 {
-  std::unique_ptr<ParticleSet<TR>> elec;
-  std::unique_ptr<TrialWaveFunction<TR>> twf;
-  std::unique_ptr<Hamiltonian<TR>> ham;
+  std::unique_ptr<Crowd<TR>> crowd;
 };
 
 /// The walking ensemble plus its RNG streams.
@@ -88,7 +94,9 @@ class QMCDriver
 {
 public:
   /// The prototype objects are cloned per thread; the prototype electron
-  /// set provides the initial configuration.
+  /// set provides the initial configuration. Throws std::invalid_argument
+  /// on nonsensical configs (tau <= 0, num_walkers <= 0, steps < 0,
+  /// crowd_size <= 0).
   QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hamiltonian<TR>& ham,
             DriverConfig config);
   ~QMCDriver();
@@ -115,17 +123,24 @@ private:
   };
 
   /// One PbyP drift-diffusion sweep over all electrons of one walker,
-  /// followed by the local-energy measurement (Alg. 1 L4-L11).
-  SweepOutcome sweep_walker(ThreadContext<TR>& ctx, Walker& w, RandomGenerator& rng,
+  /// followed by the local-energy measurement (Alg. 1 L4-L11). Legacy
+  /// crowd_size == 1 path, run against slot 0 of the thread's crowd.
+  SweepOutcome sweep_walker(CrowdContext<TR>& ctx, Walker& w, RandomGenerator& rng,
                             bool recompute);
 
-  void make_thread_contexts();
+  /// The batched sweep: acquire the population slice [first, first + n)
+  /// into the crowd, move every electron for all walkers in lockstep
+  /// through the mw_* API, measure, release. Walker energies/ages are
+  /// updated in place; returns the acceptance counters.
+  SweepOutcome sweep_crowd(CrowdContext<TR>& ctx, int first, int n, bool recompute);
+
+  void make_crowd_contexts();
 
   ParticleSet<TR>& elec_proto_;
   TrialWaveFunction<TR>& twf_proto_;
   Hamiltonian<TR>& ham_proto_;
   DriverConfig config_;
-  std::vector<ThreadContext<TR>> contexts_;
+  std::vector<CrowdContext<TR>> contexts_;
   WalkerPopulation pop_;
   double trial_energy_ = 0.0;
   RandomGenerator branch_rng_;

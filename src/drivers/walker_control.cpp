@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "drivers/qmc_drivers.h"
@@ -6,11 +7,45 @@
 namespace qmcxx
 {
 
+namespace
+{
+
+/// SplitMix64 finalizer: decorrelates clone seeds drawn from the branch
+/// stream from the stream itself (raw xoshiro outputs fed straight back
+/// in as seeds would re-enter the seeding path unmixed).
+std::uint64_t mix_seed(std::uint64_t z)
+{
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Deep-copy a walker as a branching child: fresh decorrelated RNG
+/// stream (never the parent's -- clones sharing a stream would walk in
+/// lockstep forever), fresh identity, recorded lineage.
+std::unique_ptr<Walker> clone_walker(const Walker& parent, RandomGenerator& branch_rng,
+                                     std::vector<RandomGenerator>& rngs_out)
+{
+  auto child = std::make_unique<Walker>(parent);
+  const std::uint64_t seed = mix_seed(branch_rng.next());
+  child->id = seed ? seed : 1; // id 0 is the founder sentinel in parent_id
+  child->parent_id = parent.id;
+  rngs_out.emplace_back(seed);
+  return child;
+}
+
+} // namespace
+
 void branch_walkers(WalkerPopulation& pop, int target_population, RandomGenerator& rng)
 {
   // Stochastic rounding of weights into integer multiplicities
   // (comb-free birth/death branching), followed by a hard clamp that
-  // keeps the population within [target/2, 2*target].
+  // keeps the population within [target/2, 2*target]. Surviving walkers
+  // keep their own RNG streams (the stream pairing is part of the
+  // Markov chain state); clones get fresh decorrelated streams.
+  if (pop.walkers.empty())
+    return; // nothing to branch (and nothing to resurrect from)
   std::vector<std::unique_ptr<Walker>> next;
   std::vector<RandomGenerator> next_rngs;
   next.reserve(pop.walkers.size());
@@ -23,37 +58,47 @@ void branch_walkers(WalkerPopulation& pop, int target_population, RandomGenerato
     if (mult <= 0)
       continue;
     w.weight = 1.0;
-    for (int c = 0; c < mult; ++c)
-    {
-      if (c == 0)
-      {
-        next.push_back(std::move(pop.walkers[iw]));
-        next_rngs.push_back(pop.rngs[iw]);
-      }
-      else
-      {
-        // Deep copy (positions + buffer); fresh decorrelated RNG stream.
-        next.push_back(std::make_unique<Walker>(*next.back()));
-        RandomGenerator fresh(rng.next());
-        next_rngs.push_back(fresh);
-      }
-    }
+    // The survivor moves together with its paired stream; children are
+    // cloned afterwards from the moved-to slot (the object is intact,
+    // only the owning pointer moved).
+    next.push_back(std::move(pop.walkers[iw]));
+    next_rngs.push_back(pop.rngs[iw]);
+    const Walker& parent = *next.back();
+    for (int c = 1; c < mult; ++c)
+      next.push_back(clone_walker(parent, rng, next_rngs));
   }
 
   // Guard rails: never let the population die out or explode.
   const int min_pop = std::max(1, target_population / 2);
   const int max_pop = 2 * target_population;
-  while (static_cast<int>(next.size()) < min_pop && !next.empty())
+  if (next.empty())
+  {
+    // Total extinction (every multiplicity rounded to zero): resurrect
+    // from the old population, which still owns all the dead walkers.
+    assert(!pop.walkers.empty());
+    while (static_cast<int>(next.size()) < min_pop)
+    {
+      const std::size_t src = rng.range(pop.walkers.size());
+      Walker& w = *pop.walkers[src];
+      w.weight = 1.0;
+      next.push_back(clone_walker(w, rng, next_rngs));
+    }
+  }
+  while (static_cast<int>(next.size()) < min_pop)
   {
     const std::size_t src = rng.range(next.size());
-    next.push_back(std::make_unique<Walker>(*next[src]));
-    next_rngs.push_back(RandomGenerator(rng.next()));
+    next.push_back(clone_walker(*next[src], rng, next_rngs));
   }
   if (static_cast<int>(next.size()) > max_pop)
   {
     next.resize(max_pop);
     next_rngs.resize(max_pop);
   }
+
+  assert(static_cast<int>(next.size()) >= min_pop &&
+         static_cast<int>(next.size()) <= max_pop &&
+         "branched population left [target/2, 2*target]");
+  assert(next.size() == next_rngs.size() && "walker/RNG stream pairing broken by branching");
 
   pop.walkers = std::move(next);
   pop.rngs = std::move(next_rngs);

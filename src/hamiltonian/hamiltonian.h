@@ -63,6 +63,14 @@ public:
   double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf)
   {
     twf.evaluate_gl(p);
+    return evaluate_local(p, twf);
+  }
+
+  /// Component sum only; the wavefunction's G/L accumulators must
+  /// already be current (used by the crowd path after the batched
+  /// mw_evaluate_gl).
+  double evaluate_local(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf)
+  {
     double el = 0.0;
     for (std::size_t i = 0; i < components_.size(); ++i)
     {
@@ -70,6 +78,20 @@ public:
       el += last_values_[i];
     }
     return el;
+  }
+
+  /// Crowd-batched measurement: one batched G/L refresh across the
+  /// crowd, then the per-walker component sums. ham_list[iw] measures
+  /// twf_list[iw] on p_list[iw]; local_energies needs one slot per
+  /// walker.
+  static void mw_evaluate(const RefVector<Hamiltonian<TR>>& ham_list,
+                          const RefVector<TrialWaveFunction<TR>>& twf_list,
+                          const RefVector<ParticleSet<TR>>& p_list, MWResourceSet& res,
+                          double* local_energies)
+  {
+    TrialWaveFunction<TR>::mw_evaluate_gl(twf_list, p_list, res);
+    for (std::size_t iw = 0; iw < ham_list.size(); ++iw)
+      local_energies[iw] = ham_list[iw].get().evaluate_local(p_list[iw].get(), twf_list[iw].get());
   }
 
   std::unique_ptr<Hamiltonian<TR>> clone() const

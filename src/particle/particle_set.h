@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "containers/mw_types.h"
 #include "containers/tiny_vector.h"
 #include "containers/vector_soa.h"
 #include "particle/distance_table.h"
@@ -170,6 +171,62 @@ public:
   }
 
   void store_walker(Walker& w) const { w.R = R; }
+
+  // ---- multi-walker (crowd) batched staging ---------------------------
+  // Flat loops over the per-walker sets; one call per crowd keeps the
+  // move protocol's fan-out in one place so a batched distance-table
+  // engine can later hook in without touching the drivers.
+  static void mw_update(const RefVector<ParticleSet<TR>>& p_list)
+  {
+    for (auto& p : p_list)
+      p.get().update();
+  }
+
+  static void mw_prepare_move(const RefVector<ParticleSet<TR>>& p_list, int k)
+  {
+    for (auto& p : p_list)
+      p.get().prepare_move(k);
+  }
+
+  static void mw_make_move(const RefVector<ParticleSet<TR>>& p_list, int k,
+                           const std::vector<Pos>& newpos)
+  {
+    assert(newpos.size() >= p_list.size());
+    for (std::size_t iw = 0; iw < p_list.size(); ++iw)
+      p_list[iw].get().make_move(k, newpos[iw]);
+  }
+
+  /// Commit/abandon the proposed move of particle k per walker. The
+  /// wavefunction components must have been updated first (see
+  /// TrialWaveFunction::mw_accept_reject, which calls this last).
+  static void mw_accept_reject(const RefVector<ParticleSet<TR>>& p_list, int k,
+                               const std::vector<char>& is_accepted)
+  {
+    assert(is_accepted.size() >= p_list.size());
+    for (std::size_t iw = 0; iw < p_list.size(); ++iw)
+    {
+      if (is_accepted[iw])
+        p_list[iw].get().accept_move(k);
+      else
+        p_list[iw].get().reject_move(k);
+    }
+  }
+
+  static void mw_load_walkers(const RefVector<ParticleSet<TR>>& p_list,
+                              const RefVector<Walker>& walkers)
+  {
+    assert(walkers.size() >= p_list.size());
+    for (std::size_t iw = 0; iw < p_list.size(); ++iw)
+      p_list[iw].get().load_walker(walkers[iw].get());
+  }
+
+  static void mw_store_walkers(const RefVector<ParticleSet<TR>>& p_list,
+                               const RefVector<Walker>& walkers)
+  {
+    assert(walkers.size() >= p_list.size());
+    for (std::size_t iw = 0; iw < p_list.size(); ++iw)
+      p_list[iw].get().store_walker(walkers[iw].get());
+  }
 
 private:
   std::string name_;

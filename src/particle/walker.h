@@ -31,7 +31,12 @@ struct Walker
   double local_energy = 0.0;
   double old_local_energy = 0.0;
   double log_psi = 0.0;
-  std::uint64_t id = 0;
+  std::uint64_t id = 0; ///< nonzero once assigned (0 is reserved below)
+  /// Id of the walker this one was branched from; 0 marks a founder,
+  /// so real walker ids must never be 0. Branching must give clones
+  /// fresh decorrelated RNG streams; the lineage makes the stream
+  /// pairing auditable in tests.
+  std::uint64_t parent_id = 0;
   PooledBuffer buffer;    ///< anonymous per-walker wavefunction state
 
   std::size_t byte_size() const

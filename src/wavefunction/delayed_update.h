@@ -201,6 +201,26 @@ public:
                                                          engine_.delay());
   }
 
+  // The delayed engine binds accepted rows instead of applying them, so
+  // DiracDeterminant's batched crowd path (which commits via the plain
+  // Sherman-Morrison update) must not run here: fall back to the flat
+  // per-walker loops, which route through this class's scalar overrides.
+  std::unique_ptr<MWResource> make_mw_resource(int) const override { return nullptr; }
+
+  void mw_ratio_grad(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                     const RefVector<ParticleSet<TR>>& p_list, int k, double* ratios, Grad* grads,
+                     MWResource* resource) override
+  {
+    WaveFunctionComponent<TR>::mw_ratio_grad(wfc_list, p_list, k, ratios, grads, resource);
+  }
+
+  void mw_accept_reject(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                        const RefVector<ParticleSet<TR>>& p_list, int k,
+                        const std::vector<char>& is_accepted, MWResource* resource) override
+  {
+    WaveFunctionComponent<TR>::mw_accept_reject(wfc_list, p_list, k, is_accepted, resource);
+  }
+
   double ratio(ParticleSet<TR>& p, int k) override
   {
     if (!this->owns(k))

@@ -26,6 +26,19 @@
 namespace qmcxx
 {
 
+/// Per-crowd scratch of the batched determinant path: the shared SPO
+/// batch (values/gradients/laplacians for every walker's proposed
+/// position) plus the gathered positions. `last_k` records which
+/// particle the batch was filled for, so mw_accept_reject can reuse the
+/// rows instead of re-evaluating orbitals.
+template<typename TR>
+struct DiracDetMWResource : MWResource
+{
+  SPOVGLBatch<TR> vgl;
+  std::vector<TinyVector<double, 3>> pos;
+  int last_k = -1;
+};
+
 template<typename TR>
 class DiracDeterminant : public WaveFunctionComponent<TR>
 {
@@ -182,19 +195,115 @@ public:
       // position before the inverse update.
       spos_->evaluate_vgl(p.active_pos(), psiv_.data(), dpsiv_, d2psiv_.data());
     }
-    {
-      ScopedTimer timer(Kernel::DetUpdate);
-      sherman_morrison_row_update(kl);
-    }
-    copy_derivative_rows(kl);
-    this->log_value_ += std::log(std::abs(cur_ratio_));
-    if (cur_ratio_ < 0)
-      sign_ = -sign_;
-    ++updates_since_recompute_;
-    cur_vgl_valid_ = false;
+    accept_from_rows(kl, psiv_.data(), dpsiv_.data(0), dpsiv_.data(1), dpsiv_.data(2),
+                     d2psiv_.data());
   }
 
   void reject_move(int) override { cur_vgl_valid_ = false; }
+
+  // ---- multi-walker (crowd) batched path --------------------------------
+  std::unique_ptr<MWResource> make_mw_resource(int num_walkers) const override
+  {
+    auto r = std::make_unique<DiracDetMWResource<TR>>();
+    r->vgl.resize(num_walkers, spos_->num_orbitals());
+    r->pos.resize(num_walkers);
+    return r;
+  }
+
+  /// Batched ratio+gradient: gather every walker's proposed position,
+  /// evaluate the shared SPO set once for the whole crowd (amortizing
+  /// the spline-table walk setup, timer scopes and virtual dispatch),
+  /// then reduce each walker's rows against its own stored inverse.
+  void mw_ratio_grad(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                     const RefVector<ParticleSet<TR>>& p_list, int k, double* ratios, Grad* grads,
+                     MWResource* resource) override
+  {
+    const int nw = static_cast<int>(wfc_list.size());
+    if (!owns(k))
+    {
+      for (int iw = 0; iw < nw; ++iw)
+      {
+        ratios[iw] = 1.0;
+        grads[iw] = Grad{};
+      }
+      return;
+    }
+    auto* res = dynamic_cast<DiracDetMWResource<TR>*>(resource);
+    if (!res || static_cast<int>(res->pos.size()) < nw)
+    {
+      WaveFunctionComponent<TR>::mw_ratio_grad(wfc_list, p_list, k, ratios, grads, resource);
+      return;
+    }
+    for (int iw = 0; iw < nw; ++iw)
+      res->pos[iw] = p_list[iw].get().active_pos();
+    spos_->mw_evaluate_vgl(res->pos.data(), nw, res->vgl);
+    res->last_k = k;
+
+    const int kl = k - first_;
+    ScopedTimer timer(Kernel::DetRatio);
+    for (int iw = 0; iw < nw; ++iw)
+    {
+      auto& det = static_cast<DiracDeterminant<TR>&>(wfc_list[iw].get());
+      const TR* __restrict row = det.minv_.row(kl);
+      const TR* __restrict pv = res->vgl.psi.row(iw);
+      const TR* __restrict dvx = res->vgl.gx.row(iw);
+      const TR* __restrict dvy = res->vgl.gy.row(iw);
+      const TR* __restrict dvz = res->vgl.gz.row(iw);
+      TR rat = 0, gx = 0, gy = 0, gz = 0;
+#pragma omp simd reduction(+ : rat, gx, gy, gz)
+      for (int j = 0; j < nel_; ++j)
+      {
+        rat += pv[j] * row[j];
+        gx += dvx[j] * row[j];
+        gy += dvy[j] * row[j];
+        gz += dvz[j] * row[j];
+      }
+      det.cur_ratio_ = static_cast<double>(rat);
+      // The batch rows, not this walker's member scratch, hold the
+      // proposed-position orbitals; a scalar accept_move after this call
+      // must re-evaluate, a batched one reuses the rows.
+      det.cur_vgl_valid_ = false;
+      ratios[iw] = det.cur_ratio_;
+      if (det.cur_ratio_ != 0.0 && std::isfinite(det.cur_ratio_))
+      {
+        const double inv_ratio = 1.0 / det.cur_ratio_;
+        grads[iw] = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
+                         static_cast<double>(gz) * inv_ratio};
+      }
+      else
+      {
+        grads[iw] = Grad{};
+      }
+    }
+  }
+
+  /// Batched accept/reject reusing the SPO rows mw_ratio_grad staged for
+  /// this particle; falls back to the flat loop (which re-evaluates the
+  /// orbitals per accepted walker) if the resource is stale or absent.
+  void mw_accept_reject(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                        const RefVector<ParticleSet<TR>>& p_list, int k,
+                        const std::vector<char>& is_accepted, MWResource* resource) override
+  {
+    if (!owns(k))
+      return; // moves of the other spin leave these determinants fixed
+    auto* res = dynamic_cast<DiracDetMWResource<TR>*>(resource);
+    if (!res || res->last_k != k)
+    {
+      WaveFunctionComponent<TR>::mw_accept_reject(wfc_list, p_list, k, is_accepted, resource);
+      return;
+    }
+    const int kl = k - first_;
+    for (std::size_t iw = 0; iw < wfc_list.size(); ++iw)
+    {
+      auto& det = static_cast<DiracDeterminant<TR>&>(wfc_list[iw].get());
+      if (is_accepted[iw])
+        det.accept_from_rows(kl, res->vgl.psi.row(iw), res->vgl.gx.row(iw), res->vgl.gy.row(iw),
+                             res->vgl.gz.row(iw), res->vgl.d2.row(iw));
+      else
+        det.reject_move(k);
+    }
+    res->last_k = -1; // rows are consumed once the inverses move on
+  }
 
   void evaluate_gl(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
   {
@@ -258,34 +367,54 @@ public:
   Matrix<TR>& inverse_transposed() { return minv_; }
 
 protected:
+  /// Commit a move whose orbital values/derivatives live in the given
+  /// rows (member scratch on the scalar path, the shared crowd batch on
+  /// the batched path). cur_ratio_ must already hold the accepted ratio.
+  void accept_from_rows(int kl, const TR* pv, const TR* svx, const TR* svy, const TR* svz,
+                        const TR* sv2)
+  {
+    {
+      ScopedTimer timer(Kernel::DetUpdate);
+      sherman_morrison_row_update(kl, pv);
+    }
+    copy_derivative_rows(kl, svx, svy, svz, sv2);
+    this->log_value_ += std::log(std::abs(cur_ratio_));
+    if (cur_ratio_ < 0)
+      sign_ = -sign_;
+    ++updates_since_recompute_;
+    cur_vgl_valid_ = false;
+  }
+
   void copy_derivative_rows(int kl)
+  {
+    copy_derivative_rows(kl, dpsiv_.data(0), dpsiv_.data(1), dpsiv_.data(2), d2psiv_.data());
+  }
+
+  void copy_derivative_rows(int kl, const TR* __restrict svx, const TR* __restrict svy,
+                            const TR* __restrict svz, const TR* __restrict sv2)
   {
     TR* __restrict dx = dpsim_x_.row(kl);
     TR* __restrict dy = dpsim_y_.row(kl);
     TR* __restrict dz = dpsim_z_.row(kl);
     TR* __restrict d2 = d2psim_.row(kl);
-    const TR* __restrict svx = dpsiv_.data(0);
-    const TR* __restrict svy = dpsiv_.data(1);
-    const TR* __restrict svz = dpsiv_.data(2);
 #pragma omp simd
     for (int j = 0; j < nel_; ++j)
     {
       dx[j] = svx[j];
       dy[j] = svy[j];
       dz[j] = svz[j];
-      d2[j] = d2psiv_[j];
+      d2[j] = sv2[j];
     }
   }
 
-  /// Rank-1 inverse update after replacing row kl of A with psiv_.
+  /// Rank-1 inverse update after replacing row kl of A with pv.
   /// In transposed storage: minv(j,l) -= (t_j - delta_{j,kl})/rho * rcopy_l
-  /// where t = minv . psiv and rcopy is the old row kl of minv.
-  void sherman_morrison_row_update(int kl)
+  /// where t = minv . pv and rcopy is the old row kl of minv.
+  void sherman_morrison_row_update(int kl, const TR* __restrict pv)
   {
     const TR c_ratio = TR(1) / static_cast<TR>(cur_ratio_);
     const std::size_t stride = minv_.stride();
-    const TR* __restrict pv = psiv_.data();
-    // t = minv . psiv (gemv over rows).
+    // t = minv . pv (gemv over rows).
     for (int j = 0; j < nel_; ++j)
       workv_[j] = linalg::dot_n(minv_.row(j), pv, static_cast<std::size_t>(nel_));
     workv_[kl] -= TR(1);

@@ -10,9 +10,11 @@
 #ifndef QMCXX_WAVEFUNCTION_SPO_SET_H
 #define QMCXX_WAVEFUNCTION_SPO_SET_H
 
+#include <cassert>
 #include <memory>
 
 #include "containers/aligned_allocator.h"
+#include "containers/matrix.h"
 #include "containers/vector_soa.h"
 #include "instrument/timer.h"
 #include "numerics/bspline3d.h"
@@ -20,6 +22,39 @@
 
 namespace qmcxx
 {
+
+/// Crowd-sized orbital evaluation results: row iw holds walker iw's
+/// values/Cartesian gradients/laplacians over all orbitals, each row
+/// padded to the SIMD alignment. `vgh` is the reduced-coordinate
+/// intermediate staging area of the batched B-spline path, laid out
+/// component-major (10 blocks of num_walkers rows: v, gu0..gu2,
+/// hxx..hzz) so the cell transform runs as one long unit-stride sweep
+/// over all walkers at once.
+template<typename TR>
+struct SPOVGLBatch
+{
+  Matrix<TR> psi, gx, gy, gz, d2;
+  Matrix<TR> vgh;
+  int num_walkers = 0;
+  int num_orbitals = 0;
+
+  void resize(int nw, int norb)
+  {
+    if (nw == num_walkers && norb == num_orbitals)
+      return;
+    num_walkers = nw;
+    num_orbitals = norb;
+    for (auto* m : {&psi, &gx, &gy, &gz, &d2})
+      m->resize(nw, norb, /*pad_rows=*/true);
+    vgh.resize(static_cast<std::size_t>(10) * nw, norb, /*pad_rows=*/true);
+  }
+
+  /// Start of reduced-coordinate component block c (0=v, 1..3=gu,
+  /// 4..9=h), a contiguous num_walkers x stride() region.
+  TR* vgh_block(int c) { return vgh.row(static_cast<std::size_t>(c) * num_walkers); }
+  TR* vgh_row(int c, int iw) { return vgh.row(static_cast<std::size_t>(c) * num_walkers + iw); }
+  std::size_t stride() const { return psi.stride(); }
+};
 
 template<typename TR>
 class SPOSet
@@ -39,6 +74,28 @@ public:
   virtual void evaluate_vgl(const Pos& r, TR* psi, VectorSoaContainer<TR, 3>& dpsi,
                             TR* d2psi) = 0;
 
+  /// Crowd-batched vgl: evaluate nw positions into the batch rows. The
+  /// flat fallback loops the scalar virtual through a staging container;
+  /// spline-backed sets override with a genuinely batched kernel.
+  virtual void mw_evaluate_vgl(const Pos* r, int nw, SPOVGLBatch<TR>& out)
+  {
+    out.resize(nw, norb_);
+    VectorSoaContainer<TR, 3> dpsi(norb_);
+    for (int iw = 0; iw < nw; ++iw)
+    {
+      evaluate_vgl(r[iw], out.psi.row(iw), dpsi, out.d2.row(iw));
+      TR* __restrict gx = out.gx.row(iw);
+      TR* __restrict gy = out.gy.row(iw);
+      TR* __restrict gz = out.gz.row(iw);
+      for (int s = 0; s < norb_; ++s)
+      {
+        gx[s] = dpsi(0, s);
+        gy[s] = dpsi(1, s);
+        gz[s] = dpsi(2, s);
+      }
+    }
+  }
+
 protected:
   int norb_ = 0;
   std::size_t table_bytes_ = 0;
@@ -57,9 +114,6 @@ public:
   {
     this->norb_ = backend_->num_splines();
     this->table_bytes_ = backend_->coefficient_bytes();
-    const std::size_t np = getAlignedSize<TR>(this->norb_);
-    for (auto* v : {&vals_, &hxx_, &hxy_, &hxz_, &hyy_, &hyz_, &hzz_, &gu0_, &gu1_, &gu2_})
-      v->assign(np, TR(0));
     // Reduced->Cartesian transform constants.
     const auto& ainv = lattice_rows_inv();
     for (unsigned a = 0; a < 3; ++a)
@@ -91,49 +145,105 @@ public:
   {
     const Pos u = lattice_.to_unit_folded(r);
     const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+    // Per-thread staging: SPO sets are shared between the per-thread
+    // wavefunction clones (the spline table is read-only), so the vgh
+    // intermediate must not live in the shared object.
+    VGLScratch& s = vgl_scratch();
+    s.ensure(getAlignedSize<TR>(this->norb_));
     {
       ScopedTimer timer(Kernel::BsplineVGH);
-      SplineVGHResult<TR> out{vals_.data(),
-                              {gu0_.data(), gu1_.data(), gu2_.data()},
-                              {hxx_.data(), hxy_.data(), hxz_.data(), hyy_.data(), hyz_.data(),
-                               hzz_.data()}};
+      SplineVGHResult<TR> out{s.v[0].data(),
+                              {s.v[1].data(), s.v[2].data(), s.v[3].data()},
+                              {s.v[4].data(), s.v[5].data(), s.v[6].data(), s.v[7].data(),
+                               s.v[8].data(), s.v[9].data()}};
       backend_->evaluate_vgh(ur, out);
     }
     {
-      // SPO-vgl: Cartesian gradient g_i = sum_a dua/dxi * gu_a and
-      // laplacian = sum_ab M_ab H_ab (reduced-coordinate hessian trace).
       ScopedTimer timer(Kernel::SPOvgl);
-      const int n = this->norb_;
-      TR* __restrict gx = dpsi.data(0);
-      TR* __restrict gy = dpsi.data(1);
-      TR* __restrict gz = dpsi.data(2);
-      const TR* __restrict g0 = gu0_.data();
-      const TR* __restrict g1 = gu1_.data();
-      const TR* __restrict g2 = gu2_.data();
-      const TR* __restrict xx = hxx_.data();
-      const TR* __restrict xy = hxy_.data();
-      const TR* __restrict xz = hxz_.data();
-      const TR* __restrict yy = hyy_.data();
-      const TR* __restrict yz = hyz_.data();
-      const TR* __restrict zz = hzz_.data();
-      const TR g00 = gmat_[0][0], g01 = gmat_[0][1], g02 = gmat_[0][2];
-      const TR g10 = gmat_[1][0], g11 = gmat_[1][1], g12 = gmat_[1][2];
-      const TR g20 = gmat_[2][0], g21 = gmat_[2][1], g22 = gmat_[2][2];
-      const TR m0 = lap_metric_[0], m1 = lap_metric_[1], m2 = lap_metric_[2];
-      const TR m3 = lap_metric_[3], m4 = lap_metric_[4], m5 = lap_metric_[5];
-#pragma omp simd
-      for (int s = 0; s < n; ++s)
+      transform_vgh(1, s.v[0].data(), s.v[1].data(), s.v[2].data(), s.v[3].data(), s.v[4].data(),
+                    s.v[5].data(), s.v[6].data(), s.v[7].data(), s.v[8].data(), s.v[9].data(),
+                    this->norb_, psi, dpsi.data(0), dpsi.data(1), dpsi.data(2), d2psi);
+    }
+  }
+
+  /// Batched vgl: evaluate the reduced-coordinate vgh for every walker
+  /// into the batch's component-major staging blocks, then run the cell
+  /// transform once over all walkers as a single unit-stride sweep.
+  /// Amortizes the timer scopes and virtual dispatch over the crowd and
+  /// gives the SPO-vgl kernel a trip count of num_walkers x norb.
+  void mw_evaluate_vgl(const Pos* r, int nw, SPOVGLBatch<TR>& out) override
+  {
+    out.resize(nw, this->norb_);
+    const std::size_t stride = out.stride();
+    {
+      ScopedTimer timer(Kernel::BsplineVGH);
+      for (int iw = 0; iw < nw; ++iw)
       {
-        psi[s] = vals_[s];
-        gx[s] = g00 * g0[s] + g10 * g1[s] + g20 * g2[s];
-        gy[s] = g01 * g0[s] + g11 * g1[s] + g21 * g2[s];
-        gz[s] = g02 * g0[s] + g12 * g1[s] + g22 * g2[s];
-        d2psi[s] = m0 * xx[s] + m1 * xy[s] + m2 * xz[s] + m3 * yy[s] + m4 * yz[s] + m5 * zz[s];
+        const Pos u = lattice_.to_unit_folded(r[iw]);
+        const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+        SplineVGHResult<TR> res{out.vgh_row(0, iw),
+                                {out.vgh_row(1, iw), out.vgh_row(2, iw), out.vgh_row(3, iw)},
+                                {out.vgh_row(4, iw), out.vgh_row(5, iw), out.vgh_row(6, iw),
+                                 out.vgh_row(7, iw), out.vgh_row(8, iw), out.vgh_row(9, iw)}};
+        backend_->evaluate_vgh(ur, res);
       }
+    }
+    {
+      ScopedTimer timer(Kernel::SPOvgl);
+      // Component blocks are contiguous across walkers (padding included
+      // in the sweep; padded lanes hold zeros from the backend).
+      transform_vgh(nw, out.vgh_block(0), out.vgh_block(1), out.vgh_block(2), out.vgh_block(3),
+                    out.vgh_block(4), out.vgh_block(5), out.vgh_block(6), out.vgh_block(7),
+                    out.vgh_block(8), out.vgh_block(9), static_cast<int>(stride * nw),
+                    out.psi.data(), out.gx.data(), out.gy.data(), out.gz.data(), out.d2.data());
     }
   }
 
 private:
+  /// SPO-vgl: Cartesian gradient g_i = sum_a dua/dxi * gu_a and
+  /// laplacian = sum_ab M_ab H_ab (reduced-coordinate hessian trace),
+  /// over `count` contiguous lanes (norb for one walker, nw * stride for
+  /// a crowd batch).
+  void transform_vgh(int /*nw*/, const TR* __restrict vals, const TR* __restrict g0,
+                     const TR* __restrict g1, const TR* __restrict g2, const TR* __restrict xx,
+                     const TR* __restrict xy, const TR* __restrict xz, const TR* __restrict yy,
+                     const TR* __restrict yz, const TR* __restrict zz, int count,
+                     TR* __restrict psi, TR* __restrict gx, TR* __restrict gy, TR* __restrict gz,
+                     TR* __restrict d2psi) const
+  {
+    const TR g00 = gmat_[0][0], g01 = gmat_[0][1], g02 = gmat_[0][2];
+    const TR g10 = gmat_[1][0], g11 = gmat_[1][1], g12 = gmat_[1][2];
+    const TR g20 = gmat_[2][0], g21 = gmat_[2][1], g22 = gmat_[2][2];
+    const TR m0 = lap_metric_[0], m1 = lap_metric_[1], m2 = lap_metric_[2];
+    const TR m3 = lap_metric_[3], m4 = lap_metric_[4], m5 = lap_metric_[5];
+#pragma omp simd
+    for (int s = 0; s < count; ++s)
+    {
+      psi[s] = vals[s];
+      gx[s] = g00 * g0[s] + g10 * g1[s] + g20 * g2[s];
+      gy[s] = g01 * g0[s] + g11 * g1[s] + g21 * g2[s];
+      gz[s] = g02 * g0[s] + g12 * g1[s] + g22 * g2[s];
+      d2psi[s] = m0 * xx[s] + m1 * xy[s] + m2 * xz[s] + m3 * yy[s] + m4 * yz[s] + m5 * zz[s];
+    }
+  }
+
+  /// Ten vgh staging arrays (v, gu0..gu2, hxx..hzz), thread-local so
+  /// per-thread clones sharing this SPO set never race on them.
+  struct VGLScratch
+  {
+    aligned_vector<TR> v[10];
+    void ensure(std::size_t np)
+    {
+      if (v[0].size() < np)
+        for (auto& a : v)
+          a.assign(np, TR(0));
+    }
+  };
+  static VGLScratch& vgl_scratch()
+  {
+    static thread_local VGLScratch s;
+    return s;
+  }
   /// Rows a of d(u_a)/d(x_i): the reduced-coordinate jacobian.
   std::array<TinyVector<double, 3>, 3> lattice_rows_inv() const
   {
@@ -152,8 +262,6 @@ private:
   std::shared_ptr<Backend> backend_;
   TR gmat_[3][3];
   TR lap_metric_[6];
-  aligned_vector<TR> vals_, gu0_, gu1_, gu2_;
-  aligned_vector<TR> hxx_, hxy_, hxz_, hyy_, hyz_, hzz_;
 };
 
 template<typename TR>

@@ -170,7 +170,134 @@ public:
     }
   }
 
+  // ---- multi-walker (crowd) batched API ---------------------------------
+  // Static orchestration over parallel lists of per-walker objects:
+  // twf_list[iw] operates on p_list[iw]. For each component slot the
+  // leader's mw_* override runs once for the whole crowd; `res` carries
+  // the per-component crowd resources plus the reduction scratch and
+  // must come from make_mw_resources on an identically composed
+  // wavefunction.
+
+  /// One resource slot per component (the batched acquire handshake),
+  /// sized for a crowd of num_walkers.
+  MWResourceSet make_mw_resources(int num_walkers) const
+  {
+    MWResourceSet rs;
+    for (const auto& c : components_)
+      rs.per_component.push_back(c->make_mw_resource(num_walkers));
+    rs.ratio_scratch.resize(num_walkers);
+    rs.grad_scratch.resize(num_walkers);
+    return rs;
+  }
+
+  static void mw_evaluate_log(const RefVector<TrialWaveFunction<TR>>& twf_list,
+                              const RefVector<ParticleSet<TR>>& p_list, MWResourceSet& res)
+  {
+    const std::size_t nw = twf_list.size();
+    RefVector<std::vector<Grad>> g_list;
+    RefVector<std::vector<double>> l_list;
+    for (std::size_t iw = 0; iw < nw; ++iw)
+    {
+      TrialWaveFunction<TR>& twf = twf_list[iw];
+      twf.zero_gl();
+      g_list.push_back(twf.g_);
+      l_list.push_back(twf.l_);
+    }
+    const int nc = twf_list[0].get().num_components();
+    RefVector<WaveFunctionComponent<TR>> comp_list;
+    for (int c = 0; c < nc; ++c)
+    {
+      gather_component(twf_list, c, comp_list);
+      comp_list[0].get().mw_evaluate_log(comp_list, p_list, g_list, l_list, res.get(c));
+    }
+    for (std::size_t iw = 0; iw < nw; ++iw)
+      twf_list[iw].get().log_value_ = twf_list[iw].get().log_value();
+  }
+
+  static void mw_eval_grad(const RefVector<TrialWaveFunction<TR>>& twf_list,
+                           const RefVector<ParticleSet<TR>>& p_list, int k, Grad* grads)
+  {
+    for (std::size_t iw = 0; iw < twf_list.size(); ++iw)
+      grads[iw] = twf_list[iw].get().eval_grad(p_list[iw].get(), k);
+  }
+
+  /// Batched ratio and gradient for the proposed move of particle k:
+  /// ratios multiply and gradients add across components, with each
+  /// component evaluated crowd-at-a-time.
+  static void mw_ratio_grad(const RefVector<TrialWaveFunction<TR>>& twf_list,
+                            const RefVector<ParticleSet<TR>>& p_list, int k,
+                            std::vector<double>& ratios, std::vector<Grad>& grads,
+                            MWResourceSet& res)
+  {
+    const std::size_t nw = twf_list.size();
+    ratios.assign(nw, 1.0);
+    grads.assign(nw, Grad{});
+    const int nc = twf_list[0].get().num_components();
+    RefVector<WaveFunctionComponent<TR>> comp_list;
+    for (int c = 0; c < nc; ++c)
+    {
+      gather_component(twf_list, c, comp_list);
+      comp_list[0].get().mw_ratio_grad(comp_list, p_list, k, res.ratio_scratch.data(),
+                                       res.grad_scratch.data(), res.get(c));
+      for (std::size_t iw = 0; iw < nw; ++iw)
+      {
+        ratios[iw] *= res.ratio_scratch[iw];
+        grads[iw] += res.grad_scratch[iw];
+      }
+    }
+  }
+
+  /// Batched commit: components first (they may read pre-update table
+  /// rows), then the particle sets -- the same ordering as the scalar
+  /// accept_move/reject_move pair.
+  static void mw_accept_reject(const RefVector<TrialWaveFunction<TR>>& twf_list,
+                               const RefVector<ParticleSet<TR>>& p_list, int k,
+                               const std::vector<char>& is_accepted, MWResourceSet& res)
+  {
+    const int nc = twf_list[0].get().num_components();
+    RefVector<WaveFunctionComponent<TR>> comp_list;
+    for (int c = 0; c < nc; ++c)
+    {
+      gather_component(twf_list, c, comp_list);
+      comp_list[0].get().mw_accept_reject(comp_list, p_list, k, is_accepted, res.get(c));
+    }
+    ParticleSet<TR>::mw_accept_reject(p_list, k, is_accepted);
+  }
+
+  /// Batched G/L refresh from component internal state after a sweep.
+  static void mw_evaluate_gl(const RefVector<TrialWaveFunction<TR>>& twf_list,
+                             const RefVector<ParticleSet<TR>>& p_list, MWResourceSet& res)
+  {
+    const std::size_t nw = twf_list.size();
+    RefVector<std::vector<Grad>> g_list;
+    RefVector<std::vector<double>> l_list;
+    for (std::size_t iw = 0; iw < nw; ++iw)
+    {
+      TrialWaveFunction<TR>& twf = twf_list[iw];
+      twf.zero_gl();
+      g_list.push_back(twf.g_);
+      l_list.push_back(twf.l_);
+    }
+    const int nc = twf_list[0].get().num_components();
+    RefVector<WaveFunctionComponent<TR>> comp_list;
+    for (int c = 0; c < nc; ++c)
+    {
+      gather_component(twf_list, c, comp_list);
+      comp_list[0].get().mw_evaluate_gl(comp_list, p_list, g_list, l_list, res.get(c));
+    }
+    for (std::size_t iw = 0; iw < nw; ++iw)
+      twf_list[iw].get().log_value_ = twf_list[iw].get().log_value();
+  }
+
 private:
+  static void gather_component(const RefVector<TrialWaveFunction<TR>>& twf_list, int c,
+                               RefVector<WaveFunctionComponent<TR>>& comp_list)
+  {
+    comp_list.clear();
+    for (const auto& twf : twf_list)
+      comp_list.push_back(*twf.get().components_[c]);
+  }
+
   void zero_gl()
   {
     for (auto& gi : g_)

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "containers/mw_types.h"
 #include "containers/pooled_buffer.h"
 #include "containers/tiny_vector.h"
 #include "particle/particle_set.h"
@@ -61,6 +62,77 @@ public:
   virtual void register_data(PooledBuffer& buf) = 0;
   virtual void update_buffer(PooledBuffer& buf) = 0;
   virtual void copy_from_buffer(ParticleSet<TR>& p, PooledBuffer& buf) = 0;
+
+  // ---- multi-walker (crowd) batched API --------------------------------
+  // Each mw_* call is made once per crowd on the leader (wfc_list[0]);
+  // wfc_list[iw] operates on p_list[iw], all lists have one entry per
+  // walker. The defaults below are flat-virtual fallbacks that loop the
+  // scalar path, so every component participates in the crowd protocol
+  // unchanged; components with cross-walker work to amortize
+  // (DiracDeterminant batching the SPO evaluation) override them.
+  //
+  // `resource` is the component's per-crowd scratch from
+  // make_mw_resource, threaded through by the caller; nullptr is always
+  // legal and selects the fallback.
+
+  /// Per-crowd scratch for the batched overrides; default none.
+  virtual std::unique_ptr<MWResource> make_mw_resource(int num_walkers) const
+  {
+    (void)num_walkers;
+    return nullptr;
+  }
+
+  virtual void mw_evaluate_log(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                               const RefVector<ParticleSet<TR>>& p_list,
+                               const RefVector<std::vector<Grad>>& g_list,
+                               const RefVector<std::vector<double>>& l_list, MWResource* resource)
+  {
+    (void)resource;
+    for (std::size_t iw = 0; iw < wfc_list.size(); ++iw)
+      wfc_list[iw].get().evaluate_log(p_list[iw].get(), g_list[iw].get(), l_list[iw].get());
+  }
+
+  /// ratios[iw] and grads[iw] receive this component's contribution for
+  /// walker iw's proposed move of particle k (same contract as the
+  /// scalar ratio_grad).
+  virtual void mw_ratio_grad(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                             const RefVector<ParticleSet<TR>>& p_list, int k, double* ratios,
+                             Grad* grads, MWResource* resource)
+  {
+    (void)resource;
+    for (std::size_t iw = 0; iw < wfc_list.size(); ++iw)
+    {
+      grads[iw] = Grad{};
+      ratios[iw] = wfc_list[iw].get().ratio_grad(p_list[iw].get(), k, grads[iw]);
+    }
+  }
+
+  /// Commit or abandon the proposed move of particle k per walker; must
+  /// run before the particle sets themselves accept (components may read
+  /// pre-update table rows).
+  virtual void mw_accept_reject(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                                const RefVector<ParticleSet<TR>>& p_list, int k,
+                                const std::vector<char>& is_accepted, MWResource* resource)
+  {
+    (void)resource;
+    for (std::size_t iw = 0; iw < wfc_list.size(); ++iw)
+    {
+      if (is_accepted[iw])
+        wfc_list[iw].get().accept_move(p_list[iw].get(), k);
+      else
+        wfc_list[iw].get().reject_move(k);
+    }
+  }
+
+  virtual void mw_evaluate_gl(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
+                              const RefVector<ParticleSet<TR>>& p_list,
+                              const RefVector<std::vector<Grad>>& g_list,
+                              const RefVector<std::vector<double>>& l_list, MWResource* resource)
+  {
+    (void)resource;
+    for (std::size_t iw = 0; iw < wfc_list.size(); ++iw)
+      wfc_list[iw].get().evaluate_gl(p_list[iw].get(), g_list[iw].get(), l_list[iw].get());
+  }
 
   double log_value() const { return log_value_; }
 

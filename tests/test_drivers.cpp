@@ -3,7 +3,9 @@
 // plane-wave kinetic-energy cross-check of the whole wavefunction stack.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "drivers/qmc_driver_impl.h"
 #include "drivers/qmc_system.h"
@@ -265,6 +267,31 @@ TEST(DmcDriver, MultiThreadedRunMatchesWalkerCount)
     EXPECT_TRUE(std::isfinite(g.energy));
 }
 
+TEST(DriverConfig, InvalidValuesAreRejectedAtConstruction)
+{
+  const WorkloadInfo info = tiny_workload();
+  BuildOptions opt;
+  auto sys = build_system<double>(info, opt);
+  auto make = [&](DriverConfig cfg) {
+    QMCDriver<double> driver(*sys.elec, *sys.twf, *sys.ham, cfg);
+  };
+  DriverConfig bad_tau = test_config();
+  bad_tau.tau = 0.0;
+  EXPECT_THROW(make(bad_tau), std::invalid_argument);
+  bad_tau.tau = -0.01;
+  EXPECT_THROW(make(bad_tau), std::invalid_argument);
+  DriverConfig bad_walkers = test_config();
+  bad_walkers.num_walkers = 0;
+  EXPECT_THROW(make(bad_walkers), std::invalid_argument);
+  DriverConfig bad_steps = test_config();
+  bad_steps.steps = -1;
+  EXPECT_THROW(make(bad_steps), std::invalid_argument);
+  DriverConfig bad_crowd = test_config();
+  bad_crowd.crowd_size = 0;
+  EXPECT_THROW(make(bad_crowd), std::invalid_argument);
+  EXPECT_NO_THROW(make(test_config()));
+}
+
 TEST(BranchWalkers, MultiplicityRules)
 {
   WalkerPopulation pop;
@@ -316,6 +343,81 @@ TEST(BranchWalkers, RevivesDyingPopulation)
   }
   branch_walkers(pop, 4, rng);
   EXPECT_GE(pop.size(), 2); // >= target/2
+}
+
+TEST(BranchWalkers, SurvivesTotalExtinction)
+{
+  WalkerPopulation pop;
+  RandomGenerator rng(4);
+  for (int i = 0; i < 4; ++i)
+  {
+    auto w = std::make_unique<Walker>(2);
+    w->weight = 0.0; // every multiplicity rounds to zero
+    pop.walkers.push_back(std::move(w));
+    pop.rngs.emplace_back(i);
+  }
+  branch_walkers(pop, 4, rng);
+  EXPECT_GE(pop.size(), 2); // >= target/2
+  EXPECT_LE(pop.size(), 8);
+  for (const auto& w : pop.walkers)
+    EXPECT_EQ(w->weight, 1.0);
+}
+
+TEST(BranchWalkers, PreservesStreamPairingAndDecorrelatesClones)
+{
+  WalkerPopulation pop;
+  RandomGenerator rng(5);
+  for (int i = 0; i < 4; ++i)
+  {
+    auto w = std::make_unique<Walker>(2);
+    w->id = 100 + i;
+    pop.walkers.push_back(std::move(w));
+    pop.rngs.emplace_back(200 + i);
+  }
+  pop.walkers[0]->weight = 0.0; // killed
+  pop.walkers[1]->weight = 3.2; // replicated (at least 3 copies)
+  pop.walkers[2]->weight = 1.0;
+  pop.walkers[3]->weight = 1.0;
+  // Snapshot the streams as they were paired before branching.
+  std::vector<RandomGenerator> before = pop.rngs;
+
+  branch_walkers(pop, 4, rng);
+
+  ASSERT_EQ(pop.walkers.size(), pop.rngs.size());
+  std::vector<std::uint64_t> seen_ids;
+  for (int iw = 0; iw < pop.size(); ++iw)
+  {
+    const Walker& w = *pop.walkers[iw];
+    if (w.parent_id == 0 && w.id >= 100 && w.id < 104)
+    {
+      // Survivor: must still carry its original stream (same next draw).
+      RandomGenerator expect = before[w.id - 100];
+      RandomGenerator got = pop.rngs[iw];
+      EXPECT_EQ(expect.next(), got.next()) << "survivor " << w.id << " lost its RNG stream";
+    }
+    else
+    {
+      // Clone: fresh stream, decorrelated from the parent's.
+      ASSERT_GE(w.parent_id, 100u);
+      RandomGenerator parent_stream = before[w.parent_id - 100];
+      RandomGenerator got = pop.rngs[iw];
+      EXPECT_NE(parent_stream.next(), got.next())
+          << "clone of " << w.parent_id << " shares the parent stream";
+    }
+    seen_ids.push_back(w.id);
+  }
+  // All identities unique (clones get fresh ids, not the parent's).
+  std::sort(seen_ids.begin(), seen_ids.end());
+  EXPECT_EQ(std::adjacent_find(seen_ids.begin(), seen_ids.end()), seen_ids.end())
+      << "duplicate walker ids after branching";
+  // Clone streams must also differ from each other.
+  for (int a = 0; a < pop.size(); ++a)
+    for (int b = a + 1; b < pop.size(); ++b)
+    {
+      RandomGenerator ra = pop.rngs[a];
+      RandomGenerator rb = pop.rngs[b];
+      EXPECT_NE(ra.next(), rb.next()) << "walkers " << a << " and " << b << " share a stream";
+    }
 }
 
 TEST(RunEngine, AllVariantsProduceReports)

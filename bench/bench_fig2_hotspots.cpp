@@ -5,7 +5,9 @@
 // ~50% of the Ref run, and the Current profile (scaled by the speedup so
 // bars are comparable) collapsing those kernels while DetUpdate's share
 // grows (Sec. 8.4: 7% -> 10% for NiO-64). qmcxx reproduces the same
-// decomposition from its built-in kernel timers.
+// decomposition from its built-in kernel timers, and records the raw
+// per-kernel seconds to BENCH_fig2_hotspots.json so the hot-path
+// trajectory (DistTable + Jastrow especially) is tracked run over run.
 #include "bench/bench_common.h"
 
 using namespace qmcxx;
@@ -15,6 +17,7 @@ int main()
   bench::header("Figure 2: normalized hot-spot profiles (NiO-32, NiO-64)",
                 "Mathuriya et al. SC'17, Fig. 2");
 
+  bench::BenchJsonWriter json("fig2_hotspots");
   for (Workload w : {Workload::NiO32, Workload::NiO64})
   {
     const EngineReport ref = bench::run(w, EngineVariant::Ref);
@@ -34,9 +37,19 @@ int main()
         cur.profile.total();
     std::printf("  DetUpdate share: Ref %.1f%% -> Current %.1f%% (paper NiO-64: 7%% -> 10%%)\n",
                 100 * det_ref, 100 * det_cur);
+
+    const std::string name = workload_info(w).name;
+    json.add_engine_record(name, to_string(EngineVariant::Ref), ref);
+    json.add_engine_record(name, to_string(EngineVariant::Current), cur);
+    json.add_metric("speedup_over_ref", speedup);
+    json.add_metric("dist_table_plus_jastrow_seconds",
+                    cur.profile.seconds[static_cast<int>(Kernel::DistTable)] +
+                        cur.profile.seconds[static_cast<int>(Kernel::J1)] +
+                        cur.profile.seconds[static_cast<int>(Kernel::J2)]);
   }
 
   std::printf("\npaper shape check: DistTable/J2/Bspline dominate Ref; Current\n"
               "shrinks them so the relative share of DetUpdate and Other grows.\n");
+  json.write();
   return 0;
 }

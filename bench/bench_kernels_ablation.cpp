@@ -35,9 +35,8 @@ std::unique_ptr<ParticleSet<TR>> make_elec(bool soa, DTUpdateMode mode = DTUpdat
   p->add_species("d", -1.0);
   p->create({kN / 2, kN / 2});
   RandomGenerator rng(11);
-  for (auto& r : p->R)
-    r = p->lattice().to_cart({rng.uniform(), rng.uniform(), rng.uniform()});
-  p->Rsoa = p->R;
+  for (int i = 0; i < kN; ++i)
+    p->set_pos(i, p->lattice().to_cart({rng.uniform(), rng.uniform(), rng.uniform()}));
   if (soa)
     p->add_table(std::make_unique<SoaDistanceTableAA<TR>>(p->lattice(), kN, mode));
   else
@@ -54,7 +53,7 @@ void bm_disttable_move(benchmark::State& state)
   for (auto _ : state)
   {
     p->prepare_move(k);
-    p->make_move(k, p->R[k] + TinyVector<double, 3>{0.1, -0.1, 0.05});
+    p->make_move(k, p->pos(k) + TinyVector<double, 3>{0.1, -0.1, 0.05});
     p->reject_move(k);
     k = (k + 1) % kN;
   }
@@ -82,7 +81,7 @@ void bm_j2_ratio_grad(benchmark::State& state)
   for (auto _ : state)
   {
     p->prepare_move(k);
-    p->make_move(k, p->R[k] + TinyVector<double, 3>{0.1, -0.1, 0.05});
+    p->make_move(k, p->pos(k) + TinyVector<double, 3>{0.1, -0.1, 0.05});
     TinyVector<double, 3> grad{};
     benchmark::DoNotOptimize(j2->ratio_grad(*p, k, grad));
     j2->reject_move(k);
@@ -242,7 +241,7 @@ void bm_crowd_ratio_grad(benchmark::State& state)
   {
     auto w = std::make_unique<Walker>(sys.elec->size());
     for (int i = 0; i < sys.elec->size(); ++i)
-      w->R[i] = sys.elec->R[i] +
+      w->R[i] = sys.elec->pos(i) +
           TinyVector<double, 3>{0.1 * init_rng.gaussian(), 0.1 * init_rng.gaussian(),
                                 0.1 * init_rng.gaussian()};
     walkers.push_back(std::move(w));
@@ -258,7 +257,7 @@ void bm_crowd_ratio_grad(benchmark::State& state)
   {
     ParticleSet<float>::mw_prepare_move(crowd.p_refs(), k);
     for (int iw = 0; iw < nw; ++iw)
-      rnew[iw] = crowd.elec(iw).R[k] + TinyVector<double, 3>{0.1, -0.1, 0.05};
+      rnew[iw] = crowd.elec(iw).pos(k) + TinyVector<double, 3>{0.1, -0.1, 0.05};
     ParticleSet<float>::mw_make_move(crowd.p_refs(), k, rnew);
     if constexpr (BATCHED)
     {
@@ -290,7 +289,7 @@ void bm_forward_vs_onthefly(benchmark::State& state)
   for (auto _ : state)
   {
     p->prepare_move(k);
-    p->make_move(k, p->R[k] + TinyVector<double, 3>{0.05, -0.05, 0.02});
+    p->make_move(k, p->pos(k) + TinyVector<double, 3>{0.05, -0.05, 0.02});
     p->accept_move(k);
     k = (k + 1) % kN;
   }

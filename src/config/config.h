@@ -34,9 +34,13 @@ using IndexType = int;
 /// in double precision (paper Sec. 7.2).
 using AccumType = double;
 
-/// Position type: walker coordinates are kept in double precision; only
-/// derived tables (distances, Jastrow values, spline tables, inverse
-/// matrices) move to single precision under mixed precision.
+/// Position type of the *walker record* (serialization format). Note
+/// this is a storage type, not an information-content guarantee: the
+/// canonical position store inside ParticleSet lives in the table
+/// precision TR, so under mixed precision (TR = float) the position
+/// chain itself advances in float and walker records hold float-rounded
+/// values. The periodic from-scratch recompute (Sec. 7.2) bounds the
+/// resulting drift; per-walker and ensemble *accumulators* stay double.
 using PosReal = double;
 
 /// The three engine configurations evaluated in the paper.

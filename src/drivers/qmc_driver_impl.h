@@ -100,7 +100,7 @@ void QMCDriver<TR>::initialize_population()
     RandomGenerator rng(config_.seed + 7919ull * static_cast<std::uint64_t>(iw));
     // Jittered copy of the prototype configuration.
     for (int i = 0; i < elec_proto_.size(); ++i)
-      w->R[i] = elec_proto_.R[i] +
+      w->R[i] = elec_proto_.pos(i) +
           TinyVector<double, 3>{0.1 * rng.gaussian(), 0.1 * rng.gaussian(), 0.1 * rng.gaussian()};
     // Register and fill the anonymous buffer (paper Fig. 4).
     elec.load_walker(*w);
@@ -142,7 +142,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
       drift = detail::limited_drift(twf.eval_grad(p, k), tau);
     const TinyVector<double, 3> chi{sqrt_tau * rng.gaussian(), sqrt_tau * rng.gaussian(),
                                     sqrt_tau * rng.gaussian()};
-    const TinyVector<double, 3> rnew = p.R[k] + drift + chi;
+    const TinyVector<double, 3> rnew = p.pos(k) + drift + chi;
     p.make_move(k, rnew);
     TinyVector<double, 3> grad_new{};
     const double ratio = twf.calc_ratio_grad(p, k, grad_new);
@@ -156,7 +156,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
       {
         // Green-function ratio G(R'->R)/G(R->R') for drift-diffusion.
         const TinyVector<double, 3> drift_new = detail::limited_drift(grad_new, tau);
-        const TinyVector<double, 3> back = p.R[k] - rnew - drift_new; // R - R' - D(R')
+        const TinyVector<double, 3> back = p.pos(k) - rnew - drift_new; // R - R' - D(R')
         const TinyVector<double, 3> fwd = chi;                        // R' - R - D(R)
         log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
       }
@@ -220,7 +220,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
       RandomGenerator& rng = crowd.rng(iw);
       const double g0 = rng.gaussian(), g1 = rng.gaussian(), g2 = rng.gaussian();
       crowd.chi[iw] = TinyVector<double, 3>{sqrt_tau * g0, sqrt_tau * g1, sqrt_tau * g2};
-      crowd.rnew[iw] = crowd.elec(iw).R[k] + crowd.drift[iw] + crowd.chi[iw];
+      crowd.rnew[iw] = crowd.elec(iw).pos(k) + crowd.drift[iw] + crowd.chi[iw];
     }
     ParticleSet<TR>::mw_make_move(crowd.p_refs(), k, crowd.rnew);
     TrialWaveFunction<TR>::mw_ratio_grad(crowd.twf_refs(), crowd.p_refs(), k, crowd.ratios,
@@ -237,7 +237,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
         {
           const TinyVector<double, 3> drift_new = detail::limited_drift(crowd.grads[iw], tau);
           const TinyVector<double, 3> back =
-              crowd.elec(iw).R[k] - crowd.rnew[iw] - drift_new; // R - R' - D(R')
+              crowd.elec(iw).pos(k) - crowd.rnew[iw] - drift_new; // R - R' - D(R')
           const TinyVector<double, 3> fwd = crowd.chi[iw];      // R' - R - D(R)
           log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
         }

@@ -8,6 +8,16 @@
 //                 -Z*/r into -Z* erf(r/r_core)/r near each ion
 //                 (substitution for the workloads' norm-conserving
 //                 pseudopotential local channels, see DESIGN.md)
+//
+// When built with a distance-table index (the system builder always
+// passes one), the real-space pair sums consume the committed
+// unit-stride table rows -- the same minimum-image distances the rest
+// of the engine uses -- so the erfc loops vectorize and no AoS position
+// vector is rebuilt per measurement. Only the reciprocal-space phase
+// tables still need AoS positions, served by the ParticleSet's
+// scatter-on-demand compat view. Without a table index (standalone unit
+// tests) the components fall back to the pure position-based EwaldSum
+// entry points.
 #ifndef QMCXX_HAMILTONIAN_COULOMB_H
 #define QMCXX_HAMILTONIAN_COULOMB_H
 
@@ -25,8 +35,10 @@ template<typename TR>
 class CoulombEE : public HamiltonianComponent<TR>
 {
 public:
-  explicit CoulombEE(const Lattice& lattice)
-      : ewald_(std::make_shared<EwaldSum>(lattice))
+  /// table_ee: index of the electron-electron AA table in the electron
+  /// set; -1 selects the position-based fallback path.
+  explicit CoulombEE(const Lattice& lattice, int table_ee = -1)
+      : ewald_(std::make_shared<EwaldSum>(lattice)), table_ee_(table_ee)
   {}
 
   std::string name() const override { return "CoulombEE"; }
@@ -35,9 +47,27 @@ public:
   {
     (void)twf;
     ScopedTimer timer(Kernel::Other);
-    if (charges_.size() != p.R.size())
-      charges_.assign(p.R.size(), -1.0);
-    return ewald_->energy(p.R, charges_);
+    const int n = p.size();
+    if (charges_.size() != static_cast<std::size_t>(n))
+      charges_.assign(n, -1.0);
+    if (table_ee_ < 0)
+      return ewald_->energy(p.positions(), charges_);
+    // Real-space pair sum over the committed AA rows: every electron
+    // pair carries q_i q_j = 1, each row is unit-stride (Sec. 7.4).
+    const auto& dt = p.table(table_ee_);
+    const EwaldSum& ew = *ewald_;
+    double e_real = 0.0;
+    for (int i = 1; i < n; ++i)
+    {
+      const TR* __restrict d = dt.row_distances(i);
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (int j = 0; j < i; ++j)
+        acc += ew.real_space_term(static_cast<double>(d[j]));
+      e_real += acc;
+    }
+    return e_real + ewald_->kspace_energy(p.positions(), charges_) +
+        ewald_->self_background(charges_);
   }
 
   std::unique_ptr<HamiltonianComponent<TR>> clone() const override
@@ -48,6 +78,7 @@ public:
 
 private:
   std::shared_ptr<EwaldSum> ewald_; // shared: read-only tables
+  int table_ee_;
   std::vector<double> charges_;
 };
 
@@ -62,7 +93,7 @@ public:
     std::vector<double> q(ions.size());
     for (int i = 0; i < ions.size(); ++i)
       q[i] = ions.species(ions.group_id(i)).charge;
-    energy_ = ewald.energy(ions.R, q);
+    energy_ = ewald.energy(ions.positions(), q);
   }
 
   std::string name() const override { return "CoulombII"; }
@@ -82,17 +113,19 @@ class CoulombEI : public HamiltonianComponent<TR>
 public:
   /// r_core per ion species (0 disables the core regularization, giving
   /// the bare -Z/r of an all-electron calculation like Be-64).
-  CoulombEI(const ParticleSet<TR>& ions, std::vector<double> r_core)
+  /// table_ei: index of the electron-ion AB table in the electron set;
+  /// -1 selects the position-based fallback path.
+  CoulombEI(const ParticleSet<TR>& ions, const std::vector<double>& r_core, int table_ei = -1)
       : ewald_(std::make_shared<EwaldSum>(ions.lattice())),
-        ion_pos_(ions.R),
-        r_core_(std::move(r_core))
+        table_ei_(table_ei),
+        ion_pos_(ions.positions())
   {
     ion_charge_.resize(ions.size());
-    ion_species_.resize(ions.size());
+    ion_rc_.resize(ions.size());
     for (int i = 0; i < ions.size(); ++i)
     {
       ion_charge_[i] = ions.species(ions.group_id(i)).charge;
-      ion_species_[i] = ions.group_id(i);
+      ion_rc_[i] = r_core[ions.group_id(i)];
     }
     // Ions never move: their k-space structure factor is a constant.
     ion_factors_ = std::make_shared<EwaldSum::FixedSetFactors>(
@@ -105,26 +138,37 @@ public:
   {
     (void)twf;
     ScopedTimer timer(Kernel::Other);
-    if (elec_charge_.size() != p.R.size())
-      elec_charge_.assign(p.R.size(), -1.0);
-    double e = ewald_->interaction_energy_cached(p.R, elec_charge_, *ion_factors_);
-    // Short-range core correction: -Z/r -> -Z erf(r/rc)/r, i.e. add
-    // +Z erfc(r/rc)/r for electrons near the core (charge of electron
-    // is -1, so the pair term is -(-1) Z erfc/r).
-    const Lattice& lat = p.lattice();
-    for (std::size_t a = 0; a < ion_pos_.size(); ++a)
+    const int n = p.size();
+    if (elec_charge_.size() != static_cast<std::size_t>(n))
+      elec_charge_.assign(n, -1.0);
+    if (table_ei_ < 0)
+      return evaluate_from_positions(p);
+    // Real-space Ewald cross term and core correction from the
+    // committed electron-ion rows (unit-stride per electron).
+    const auto& dt = p.table(table_ei_);
+    const EwaldSum& ew = *ewald_;
+    const int m = static_cast<int>(ion_pos_.size());
+    const double* __restrict zq = ion_charge_.data();
+    const double* __restrict rc = ion_rc_.data();
+    double e_real = 0.0, e_core = 0.0;
+    for (int i = 0; i < n; ++i)
     {
-      const double rc = r_core_[ion_species_[a]];
-      if (rc <= 0)
-        continue;
-      for (std::size_t i = 0; i < p.R.size(); ++i)
+      const TR* __restrict d = dt.row_distances(i);
+      double acc_real = 0.0, acc_core = 0.0;
+#pragma omp simd reduction(+ : acc_real, acc_core)
+      for (int a = 0; a < m; ++a)
       {
-        const double r = norm(lat.min_image(ion_pos_[a] - p.R[i]));
-        if (r < 6.0 * rc)
-          e += ion_charge_[a] * std::erfc(r / rc) / r;
+        const double r = static_cast<double>(d[a]);
+        // q_e q_I = -Z_a for the point-charge Ewald part; the core
+        // correction adds +Z_a erfc(r/rc)/r near each regularized ion.
+        acc_real += -zq[a] * ew.real_space_term(r);
+        acc_core += (rc[a] > 0.0 && r < 6.0 * rc[a]) ? zq[a] * std::erfc(r / rc[a]) / r : 0.0;
       }
+      e_real += acc_real;
+      e_core += acc_core;
     }
-    return e;
+    return e_real + ewald_->interaction_kspace_cached(p.positions(), elec_charge_, *ion_factors_) +
+        e_core;
   }
 
   std::unique_ptr<HamiltonianComponent<TR>> clone() const override
@@ -133,12 +177,36 @@ public:
   }
 
 private:
+  /// Fallback for standalone construction without a distance table.
+  double evaluate_from_positions(ParticleSet<TR>& p)
+  {
+    const auto& r_elec = p.positions();
+    double e = ewald_->interaction_energy_cached(r_elec, elec_charge_, *ion_factors_);
+    // Short-range core correction: -Z/r -> -Z erf(r/rc)/r, i.e. add
+    // +Z erfc(r/rc)/r for electrons near the core (charge of electron
+    // is -1, so the pair term is -(-1) Z erfc/r).
+    const Lattice& lat = p.lattice();
+    for (std::size_t a = 0; a < ion_pos_.size(); ++a)
+    {
+      const double rc = ion_rc_[a];
+      if (rc <= 0)
+        continue;
+      for (std::size_t i = 0; i < r_elec.size(); ++i)
+      {
+        const double r = norm(lat.min_image(ion_pos_[a] - r_elec[i]));
+        if (r < 6.0 * rc)
+          e += ion_charge_[a] * std::erfc(r / rc) / r;
+      }
+    }
+    return e;
+  }
+
   std::shared_ptr<EwaldSum> ewald_;
   std::shared_ptr<EwaldSum::FixedSetFactors> ion_factors_; // shared read-only
+  int table_ei_;
   std::vector<TinyVector<double, 3>> ion_pos_;
   std::vector<double> ion_charge_;
-  std::vector<int> ion_species_;
-  std::vector<double> r_core_;
+  std::vector<double> ion_rc_; ///< per-ion core radius (gathered once)
   std::vector<double> elec_charge_;
 };
 

@@ -100,18 +100,26 @@ double EwaldSum::energy(const std::vector<Pos>& r, const std::vector<double>& q)
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = i + 1; j < n; ++j)
       e_real += q[i] * q[j] * real_space_pair(r[i], r[j]);
+  return e_real + kspace_energy(r, q) + self_background(q);
+}
 
+double EwaldSum::kspace_energy(const std::vector<Pos>& r, const std::vector<double>& q) const
+{
   PhaseTables tables;
   tables.build(lattice_.reciprocal_rows(), mmax_, r);
   double e_recip = 0.0;
   for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
   {
     std::complex<double> rho(0.0, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < r.size(); ++i)
       rho += q[i] * tables.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
     e_recip += kfac_[kk] * std::norm(rho);
   }
+  return e_recip;
+}
 
+double EwaldSum::self_background(const std::vector<double>& q) const
+{
   double q_sum = 0.0, q2_sum = 0.0;
   for (double qi : q)
   {
@@ -121,7 +129,7 @@ double EwaldSum::energy(const std::vector<Pos>& r, const std::vector<double>& q)
   const double e_self = alpha_ / std::sqrt(M_PI) * q2_sum;
   const double e_background =
       -M_PI / (2.0 * lattice_.volume() * alpha_ * alpha_) * q_sum * q_sum;
-  return e_real + e_recip - e_self + e_background;
+  return -e_self + e_background;
 }
 
 EwaldSum::FixedSetFactors EwaldSum::precompute_fixed_set(const std::vector<Pos>& rb,
@@ -155,7 +163,13 @@ double EwaldSum::interaction_energy_cached(const std::vector<Pos>& ra,
   for (std::size_t i = 0; i < ra.size(); ++i)
     for (std::size_t j = 0; j < fixed.positions.size(); ++j)
       e_real += qa[i] * fixed.charges[j] * real_space_pair(ra[i], fixed.positions[j]);
+  return e_real + interaction_kspace_cached(ra, qa, fixed);
+}
 
+double EwaldSum::interaction_kspace_cached(const std::vector<Pos>& ra,
+                                           const std::vector<double>& qa,
+                                           const FixedSetFactors& fixed) const
+{
   PhaseTables ta;
   ta.build(lattice_.reciprocal_rows(), mmax_, ra);
   double e_recip = 0.0;
@@ -173,7 +187,7 @@ double EwaldSum::interaction_energy_cached(const std::vector<Pos>& ra,
     qa_sum += qi;
   const double e_background =
       -M_PI / (lattice_.volume() * alpha_ * alpha_) * qa_sum * fixed.q_sum;
-  return e_real + e_recip + e_background;
+  return e_recip + e_background;
 }
 
 double EwaldSum::interaction_energy(const std::vector<Pos>& ra, const std::vector<double>& qa,

@@ -9,6 +9,7 @@
 #define QMCXX_HAMILTONIAN_EWALD_H
 
 #include <array>
+#include <cmath>
 #include <vector>
 
 #include "containers/tiny_vector.h"
@@ -28,10 +29,28 @@ public:
   explicit EwaldSum(const Lattice& lattice, double tolerance = 1e-5);
 
   double alpha() const { return alpha_; }
+  double rcut() const { return rcut_; }
   int num_kvectors() const { return static_cast<int>(kindex_.size()); }
 
   /// Total Coulomb energy of charges q at positions r (same length).
   double energy(const std::vector<Pos>& r, const std::vector<double>& q) const;
+
+  /// Screened real-space pair potential erfc(alpha r)/r for a
+  /// minimum-image distance r already in hand (e.g. a distance-table
+  /// row entry); zero beyond the real-space cutoff. Summing this over
+  /// i < j pairs with q_i q_j weights reproduces the real-space part of
+  /// energy() exactly.
+  double real_space_term(double r) const
+  {
+    return r < rcut_ ? std::erfc(alpha_ * r) / r : 0.0;
+  }
+
+  /// Reciprocal-space part of energy() alone.
+  double kspace_energy(const std::vector<Pos>& r, const std::vector<double>& q) const;
+
+  /// Self-interaction and neutralizing-background corrections of
+  /// energy() (positions-independent): -e_self + e_background.
+  double self_background(const std::vector<double>& q) const;
 
   /// Cross-term energy between two charge sets (used for the
   /// electron-ion interaction): E = sum_{i in A, j in B} q_i q_j v(r_ij)
@@ -54,6 +73,12 @@ public:
   /// interaction_energy with the B-set structure factor cached; only the
   /// A-set (electron) phases are rebuilt per call.
   double interaction_energy_cached(const std::vector<Pos>& ra, const std::vector<double>& qa,
+                                   const FixedSetFactors& fixed) const;
+
+  /// Reciprocal + background cross terms of interaction_energy_cached
+  /// alone; callers supply the real-space pair sum from distance-table
+  /// rows via real_space_term().
+  double interaction_kspace_cached(const std::vector<Pos>& ra, const std::vector<double>& qa,
                                    const FixedSetFactors& fixed) const;
 
 private:

@@ -54,24 +54,49 @@ public:
 
   double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf) override
   {
-    auto& dt = p.table(table_index_);
+    const auto& dt = p.table(table_index_);
     const int nel = p.size();
     const int nion = static_cast<int>(ion_species_.size());
+    // Member scratch for the electron's row snapshot: the AoS layout
+    // serves row views from shared gather scratch, which the
+    // virtual-move ratio calls below must not be allowed to invalidate
+    // mid-quadrature.
+    if (static_cast<int>(rd_.size()) < nion)
+    {
+      rd_.resize(nion);
+      rdx_.resize(nion);
+      rdy_.resize(nion);
+      rdz_.resize(nion);
+    }
+    TR* __restrict rd = rd_.data();
+    TR* __restrict rdx = rdx_.data();
+    TR* __restrict rdy = rdy_.data();
+    TR* __restrict rdz = rdz_.data();
     double e_nl = 0.0;
     for (int i = 0; i < nel; ++i)
     {
+      // One unit-stride row serves every ion's distance and quadrature
+      // displacement for this electron (no per-pair virtual dispatch).
+      const DTRowView<TR> row = dt.row(i);
+      for (int a = 0; a < nion; ++a)
+      {
+        rd[a] = row.d[a];
+        rdx[a] = row.dx[a];
+        rdy[a] = row.dy[a];
+        rdz[a] = row.dz[a];
+      }
+      const Pos r_i = p.pos(i);
       for (int a = 0; a < nion; ++a)
       {
         const NLChannel& ch = channels_[ion_species_[a]];
         if (ch.amplitude == 0.0)
           continue;
-        const double r = static_cast<double>(dt.dist(i, a));
+        const double r = static_cast<double>(rd[a]);
         if (r >= ch.rcut)
           continue;
         // Displacement from electron towards the (nearest image) ion.
-        const TinyVector<TR, 3> d = dt.displ(i, a);
-        const Pos to_ion{static_cast<double>(d[0]), static_cast<double>(d[1]),
-                         static_cast<double>(d[2])};
+        const Pos to_ion{static_cast<double>(rdx[a]), static_cast<double>(rdy[a]),
+                         static_cast<double>(rdz[a])};
         const Pos e_hat = (-1.0 / r) * to_ion; // unit vector ion -> electron
         const double v_r = ch.radial(r);
         double angular = 0.0;
@@ -80,7 +105,7 @@ public:
           const Pos& n_q = quad_.points[q];
           const double cos_theta = dot(e_hat, n_q);
           // Virtual move: same radius r, new direction n_q about the ion.
-          const Pos r_new = p.R[i] + to_ion + r * n_q;
+          const Pos r_new = r_i + to_ion + r * n_q;
           p.make_move(i, r_new);
           const double ratio = twf.calc_ratio(p, i);
           p.reject_move(i);
@@ -102,6 +127,7 @@ private:
   int table_index_;
   SphericalQuadrature quad_;
   std::vector<int> ion_species_;
+  std::vector<TR> rd_, rdx_, rdy_, rdz_; ///< per-evaluate row snapshot
 };
 
 } // namespace qmcxx

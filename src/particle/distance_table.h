@@ -5,10 +5,17 @@
 //   AA -- symmetric electron-electron relations
 //   AB -- electron-ion relations (fixed sources)
 // and two layouts implement each:
-//   Aos*  -- the Ref implementation (Fig. 6a): packed upper triangle for
-//            AA, AoS TinyVector displacement storage, scalar loops.
-//   Soa*  -- the Current implementation (Fig. 6b): full N x Np padded
+//   Aos*  -- the Reference implementation (Fig. 6a): packed upper
+//            triangle for AA, AoS TinyVector displacement storage,
+//            scalar loops. Selected by LayoutMode::Reference; used only
+//            by the parity tests and the Fig. 6a baseline benches.
+//   Soa*  -- the canonical implementation (Fig. 6b): full N x Np padded
 //            rows on SoA storage, forward update or compute-on-the-fly.
+//
+// Consumers never branch on layout: every table serves its committed
+// rows and the proposed-move row through the unified DTRowView accessor
+// (unit-stride pointers; the AoS layout pays an O(N) gather, which is
+// exactly the Fig. 6a deficiency being measured).
 //
 // Protocol per particle move k (Alg. 1 L4-L10):
 //   prepare_move(P, k)  -- compute-on-the-fly hook: refresh row k from
@@ -33,11 +40,45 @@ namespace qmcxx
 template<typename TR>
 class ParticleSet;
 
+/// Distance sentinel for the self pair: outside every cutoff.
+template<typename TR>
+inline constexpr TR DT_BIG_R = TR(1e10);
+
+/// Which distance-table layout a system is built with. Canonical is the
+/// SoA production path; Reference keeps the paper's Fig. 6a AoS tables
+/// alive for parity tests and baseline benches.
+enum class LayoutMode
+{
+  Canonical, ///< SoA padded rows (Fig. 6b), the production layout
+  Reference  ///< AoS packed triangle / AoS rows (Fig. 6a)
+};
+
+inline const char* to_string(LayoutMode m)
+{
+  return m == LayoutMode::Canonical ? "Canonical" : "Reference";
+}
+
 /// Update policy for the SoA AA table (paper Fig. 6b and Sec. 7.5).
 enum class DTUpdateMode
 {
   ForwardUpdate, ///< accept copies temp row + strided column for k' > k
   OnTheFly       ///< row k recomputed in prepare_move; no column update
+};
+
+/// Unit-stride view of one table row: distances plus wrapped
+/// displacement components. Lifetime contract: a committed-row view
+/// (row()/row_distances()) is valid until the next mutating table call
+/// or the next committed-row request — AoS tables reuse one gather
+/// scratch, so at most one committed-row view may be outstanding. The
+/// temp_row() view has dedicated storage in every implementation and
+/// stays valid alongside a committed-row view until the next move().
+template<typename TR>
+struct DTRowView
+{
+  const TR* d;  ///< distances |min_image(r_j - r_i)|
+  const TR* dx; ///< displacement components, dr(i,j) = r_j - r_i wrapped
+  const TR* dy;
+  const TR* dz;
 };
 
 template<typename TR>
@@ -66,9 +107,19 @@ public:
   virtual void update(int k) = 0;
 
   /// Distance between target i and source j from committed state.
-  /// (Bulk kernels use the concrete classes' row accessors instead.)
+  /// (Bulk kernels use the row accessors instead.)
   virtual TR dist(int i, int j) const = 0;
   virtual TinyVector<TR, 3> displ(int i, int j) const = 0;
+
+  /// Committed row i as unit-stride arrays. The SoA layout returns its
+  /// storage directly; the AoS layout gathers into scratch.
+  virtual DTRowView<TR> row(int i) const = 0;
+  /// Distances of committed row i alone — for consumers that never read
+  /// displacements (Coulomb erfc sums), sparing the AoS layout the
+  /// three-component gather.
+  virtual const TR* row_distances(int i) const = 0;
+  /// The proposed-move row filled by move().
+  virtual DTRowView<TR> temp_row() const = 0;
 
   /// Fresh table of the same kind/layout for a per-thread ParticleSet
   /// clone (paper Fig. 4: per-thread compute objects). State is not

@@ -1,4 +1,4 @@
-// Current (SoA) distance tables -- paper Fig. 6b and Sec. 7.4-7.5.
+// Canonical (SoA) distance tables -- paper Fig. 6b and Sec. 7.4-7.5.
 //
 // Full N x Np padded row storage on SoA component arrays; every row is
 // cache-aligned and unit-stride, so the distance kernels vectorize to
@@ -11,7 +11,9 @@
 //                    move (the paper's final choice: "this eliminates the
 //                    strided copy for the column updates").
 // O(N^2) storage is retained because Hamiltonian measurements reuse the
-// full table (Sec. 7.5).
+// full table (Sec. 7.5). The pair arithmetic lives in
+// min_image_kernel.h, shared with the AoS reference layout so the two
+// are bitwise-interchangeable.
 #ifndef QMCXX_PARTICLE_DISTANCE_TABLE_SOA_H
 #define QMCXX_PARTICLE_DISTANCE_TABLE_SOA_H
 
@@ -20,107 +22,11 @@
 #include "containers/matrix.h"
 #include "instrument/timer.h"
 #include "particle/distance_table.h"
-#include "particle/distance_table_aos.h" // DT_BIG_R
+#include "particle/min_image_kernel.h"
 #include "particle/particle_set.h"
 
 namespace qmcxx
 {
-
-/// Shared row kernel state: orthorhombic cells use a branch-free
-/// component-wise wrap in compute precision; skewed (hexagonal etc.)
-/// cells use the vectorizable reduced-wrap + 8-corner search, the
-/// general-cell scheme QMCPACK's SoA tables employ.
-template<typename TR>
-struct MinImageKernel
-{
-  explicit MinImageKernel(const Lattice& lattice) : lattice(&lattice), ortho(lattice.orthorhombic())
-  {
-    for (unsigned d = 0; d < 3; ++d)
-    {
-      L[d] = static_cast<TR>(lattice.rows()[d][d]);
-      Linv[d] = TR(1) / L[d];
-    }
-    // Reduced-coordinate transform rows: f_a = dot(ainv[a], dr).
-    const TinyVector<double, 3> ex{1, 0, 0}, ey{0, 1, 0}, ez{0, 0, 1};
-    const auto ux = lattice.to_unit(ex);
-    const auto uy = lattice.to_unit(ey);
-    const auto uz = lattice.to_unit(ez);
-    for (unsigned a = 0; a < 3; ++a)
-    {
-      ainv[a][0] = static_cast<TR>(ux[a]);
-      ainv[a][1] = static_cast<TR>(uy[a]);
-      ainv[a][2] = static_cast<TR>(uz[a]);
-      for (unsigned d = 0; d < 3; ++d)
-        cell[a][d] = static_cast<TR>(lattice.rows()[a][d]);
-    }
-  }
-
-  const Lattice* lattice;
-  bool ortho;
-  TR L[3];
-  TR Linv[3];
-  TR ainv[3][3]; ///< rows of A^-T (reduced-coordinate transform)
-  TR cell[3][3]; ///< lattice vectors (rows)
-};
-
-/// Vectorizable general-cell row kernel: reduced wrap plus the 8-corner
-/// candidate search over sign-directed lattice shifts. Exact for all the
-/// cells used by the workloads (validated against the 27-image search in
-/// the tests).
-template<typename TR>
-inline void general_cell_row(const MinImageKernel<TR>& mik, const TR* __restrict xs,
-                             const TR* __restrict ys, const TR* __restrict zs, TR x0, TR y0, TR z0,
-                             int n, TR* __restrict d, TR* __restrict dx, TR* __restrict dy,
-                             TR* __restrict dz)
-{
-  const TR i00 = mik.ainv[0][0], i01 = mik.ainv[0][1], i02 = mik.ainv[0][2];
-  const TR i10 = mik.ainv[1][0], i11 = mik.ainv[1][1], i12 = mik.ainv[1][2];
-  const TR i20 = mik.ainv[2][0], i21 = mik.ainv[2][1], i22 = mik.ainv[2][2];
-  const TR a00 = mik.cell[0][0], a01 = mik.cell[0][1], a02 = mik.cell[0][2];
-  const TR a10 = mik.cell[1][0], a11 = mik.cell[1][1], a12 = mik.cell[1][2];
-  const TR a20 = mik.cell[2][0], a21 = mik.cell[2][1], a22 = mik.cell[2][2];
-#pragma omp simd
-  for (int j = 0; j < n; ++j)
-  {
-    const TR rx = xs[j] - x0;
-    const TR ry = ys[j] - y0;
-    const TR rz = zs[j] - z0;
-    TR f0 = i00 * rx + i01 * ry + i02 * rz;
-    TR f1 = i10 * rx + i11 * ry + i12 * rz;
-    TR f2 = i20 * rx + i21 * ry + i22 * rz;
-    f0 -= std::nearbyint(f0);
-    f1 -= std::nearbyint(f1);
-    f2 -= std::nearbyint(f2);
-    TR bx = f0 * a00 + f1 * a10 + f2 * a20;
-    TR by = f0 * a01 + f1 * a11 + f2 * a21;
-    TR bz = f0 * a02 + f1 * a12 + f2 * a22;
-    TR best2 = bx * bx + by * by + bz * bz;
-    TR ox = bx, oy = by, oz = bz;
-    // Sign-directed corner shifts.
-    const TR s0 = -std::copysign(TR(1), f0);
-    const TR s1 = -std::copysign(TR(1), f1);
-    const TR s2 = -std::copysign(TR(1), f2);
-    const TR c0x = s0 * a00, c0y = s0 * a01, c0z = s0 * a02;
-    const TR c1x = s1 * a10, c1y = s1 * a11, c1z = s1 * a12;
-    const TR c2x = s2 * a20, c2y = s2 * a21, c2z = s2 * a22;
-    for (int m = 1; m < 8; ++m)
-    {
-      const TR sx = bx + (m & 1 ? c0x : TR(0)) + (m & 2 ? c1x : TR(0)) + (m & 4 ? c2x : TR(0));
-      const TR sy = by + (m & 1 ? c0y : TR(0)) + (m & 2 ? c1y : TR(0)) + (m & 4 ? c2y : TR(0));
-      const TR sz = bz + (m & 1 ? c0z : TR(0)) + (m & 2 ? c1z : TR(0)) + (m & 4 ? c2z : TR(0));
-      const TR r2 = sx * sx + sy * sy + sz * sz;
-      const bool better = r2 < best2;
-      best2 = better ? r2 : best2;
-      ox = better ? sx : ox;
-      oy = better ? sy : oy;
-      oz = better ? sz : oz;
-    }
-    d[j] = std::sqrt(best2);
-    dx[j] = ox;
-    dy[j] = oy;
-    dz[j] = oz;
-  }
-}
 
 /// Symmetric electron-electron table with full padded rows.
 template<typename TR>
@@ -157,7 +63,8 @@ public:
     const int n = this->num_targets_;
     for (int i = 0; i < n; ++i)
     {
-      compute_row(p, p.R[i], d_.row(i), dx_.row(i), dy_.row(i), dz_.row(i));
+      compute_row(p, p.Rsoa()(0, i), p.Rsoa()(1, i), p.Rsoa()(2, i), d_.row(i), dx_.row(i),
+                  dy_.row(i), dz_.row(i));
       d_(i, i) = DT_BIG_R<TR>;
     }
   }
@@ -169,14 +76,16 @@ public:
     ScopedTimer dt_timer(Kernel::DistTable);
     if (mode_ != DTUpdateMode::OnTheFly)
       return;
-    compute_row(p, p.R[k], d_.row(k), dx_.row(k), dy_.row(k), dz_.row(k));
+    compute_row(p, p.Rsoa()(0, k), p.Rsoa()(1, k), p.Rsoa()(2, k), d_.row(k), dx_.row(k),
+                dy_.row(k), dz_.row(k));
     d_(k, k) = DT_BIG_R<TR>;
   }
 
   void move(const ParticleSet<TR>& p, const Pos& rnew, int k) override
   {
     ScopedTimer dt_timer(Kernel::DistTable);
-    compute_row(p, rnew, this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data());
+    compute_row(p, static_cast<TR>(rnew[0]), static_cast<TR>(rnew[1]), static_cast<TR>(rnew[2]),
+                this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data());
     this->temp_r_[k] = DT_BIG_R<TR>;
   }
 
@@ -218,6 +127,16 @@ public:
     return {dx_(i, j), dy_(i, j), dz_(i, j)};
   }
 
+  DTRowView<TR> row(int i) const override
+  {
+    return {d_.row(i), dx_.row(i), dy_.row(i), dz_.row(i)};
+  }
+  const TR* row_distances(int i) const override { return d_.row(i); }
+  DTRowView<TR> temp_row() const override
+  {
+    return {this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data()};
+  }
+
   const TR* row_d(int i) const { return d_.row(i); }
   const TR* row_dx(int i) const { return dx_.row(i); }
   const TR* row_dy(int i) const { return dy_.row(i); }
@@ -233,41 +152,11 @@ public:
   }
 
 private:
-  void compute_row(const ParticleSet<TR>& p, const Pos& r, TR* __restrict d, TR* __restrict dx,
-                   TR* __restrict dy, TR* __restrict dz) const
+  void compute_row(const ParticleSet<TR>& p, TR x0, TR y0, TR z0, TR* __restrict d,
+                   TR* __restrict dx, TR* __restrict dy, TR* __restrict dz) const
   {
-    const int n = this->num_targets_;
-    if (mik_.ortho)
-    {
-      const TR* __restrict xs = p.Rsoa.data(0);
-      const TR* __restrict ys = p.Rsoa.data(1);
-      const TR* __restrict zs = p.Rsoa.data(2);
-      const TR x0 = static_cast<TR>(r[0]);
-      const TR y0 = static_cast<TR>(r[1]);
-      const TR z0 = static_cast<TR>(r[2]);
-      const TR lx = mik_.L[0], ly = mik_.L[1], lz = mik_.L[2];
-      const TR ix = mik_.Linv[0], iy = mik_.Linv[1], iz = mik_.Linv[2];
-#pragma omp simd
-      for (int j = 0; j < n; ++j)
-      {
-        TR ddx = xs[j] - x0;
-        TR ddy = ys[j] - y0;
-        TR ddz = zs[j] - z0;
-        ddx -= lx * std::nearbyint(ddx * ix);
-        ddy -= ly * std::nearbyint(ddy * iy);
-        ddz -= lz * std::nearbyint(ddz * iz);
-        d[j] = std::sqrt(ddx * ddx + ddy * ddy + ddz * ddz);
-        dx[j] = ddx;
-        dy[j] = ddy;
-        dz[j] = ddz;
-      }
-    }
-    else
-    {
-      general_cell_row(mik_, p.Rsoa.data(0), p.Rsoa.data(1), p.Rsoa.data(2),
-                       static_cast<TR>(r[0]), static_cast<TR>(r[1]), static_cast<TR>(r[2]), n, d,
-                       dx, dy, dz);
-    }
+    min_image_row(mik_, p.Rsoa().data(0), p.Rsoa().data(1), p.Rsoa().data(2), x0, y0, z0,
+                  this->num_targets_, d, dx, dy, dz);
   }
 
   DTUpdateMode mode_;
@@ -298,12 +187,11 @@ public:
     sx_.assign(mp, TR(0));
     sy_.assign(mp, TR(0));
     sz_.assign(mp, TR(0));
-    src_pos_.assign(source.R.begin(), source.R.end());
     for (int j = 0; j < m; ++j)
     {
-      sx_[j] = static_cast<TR>(source.R[j][0]);
-      sy_[j] = static_cast<TR>(source.R[j][1]);
-      sz_[j] = static_cast<TR>(source.R[j][2]);
+      sx_[j] = source.Rsoa()(0, j);
+      sy_[j] = source.Rsoa()(1, j);
+      sz_[j] = source.Rsoa()(2, j);
     }
     temp_dx_.assign(mp, TR(0));
     temp_dy_.assign(mp, TR(0));
@@ -319,7 +207,8 @@ public:
   {
     ScopedTimer dt_timer(Kernel::DistTable);
     for (int i = 0; i < this->num_targets_; ++i)
-      compute_row(p.R[i], d_.row(i), dx_.row(i), dy_.row(i), dz_.row(i));
+      compute_row(p.Rsoa()(0, i), p.Rsoa()(1, i), p.Rsoa()(2, i), d_.row(i), dx_.row(i),
+                  dy_.row(i), dz_.row(i));
   }
 
   void move(const ParticleSet<TR>& p, const Pos& rnew, int k) override
@@ -327,7 +216,8 @@ public:
     ScopedTimer dt_timer(Kernel::DistTable);
     (void)p;
     (void)k;
-    compute_row(rnew, this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data());
+    compute_row(static_cast<TR>(rnew[0]), static_cast<TR>(rnew[1]), static_cast<TR>(rnew[2]),
+                this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data());
   }
 
   void update(int k) override
@@ -354,6 +244,16 @@ public:
     return {dx_(i, j), dy_(i, j), dz_(i, j)};
   }
 
+  DTRowView<TR> row(int i) const override
+  {
+    return {d_.row(i), dx_.row(i), dy_.row(i), dz_.row(i)};
+  }
+  const TR* row_distances(int i) const override { return d_.row(i); }
+  DTRowView<TR> temp_row() const override
+  {
+    return {this->temp_r_.data(), temp_dx_.data(), temp_dy_.data(), temp_dz_.data()};
+  }
+
   const TR* row_d(int i) const { return d_.row(i); }
   const TR* row_dx(int i) const { return dx_.row(i); }
   const TR* row_dy(int i) const { return dy_.row(i); }
@@ -369,47 +269,17 @@ public:
   }
 
 private:
-  void compute_row(const Pos& r, TR* __restrict d, TR* __restrict dx, TR* __restrict dy,
+  void compute_row(TR x0, TR y0, TR z0, TR* __restrict d, TR* __restrict dx, TR* __restrict dy,
                    TR* __restrict dz) const
   {
-    const int m = this->num_sources_;
-    if (mik_.ortho)
-    {
-      const TR x0 = static_cast<TR>(r[0]);
-      const TR y0 = static_cast<TR>(r[1]);
-      const TR z0 = static_cast<TR>(r[2]);
-      const TR lx = mik_.L[0], ly = mik_.L[1], lz = mik_.L[2];
-      const TR ix = mik_.Linv[0], iy = mik_.Linv[1], iz = mik_.Linv[2];
-      const TR* __restrict xs = sx_.data();
-      const TR* __restrict ys = sy_.data();
-      const TR* __restrict zs = sz_.data();
-#pragma omp simd
-      for (int j = 0; j < m; ++j)
-      {
-        TR ddx = xs[j] - x0;
-        TR ddy = ys[j] - y0;
-        TR ddz = zs[j] - z0;
-        ddx -= lx * std::nearbyint(ddx * ix);
-        ddy -= ly * std::nearbyint(ddy * iy);
-        ddz -= lz * std::nearbyint(ddz * iz);
-        d[j] = std::sqrt(ddx * ddx + ddy * ddy + ddz * ddz);
-        dx[j] = ddx;
-        dy[j] = ddy;
-        dz[j] = ddz;
-      }
-    }
-    else
-    {
-      general_cell_row(mik_, sx_.data(), sy_.data(), sz_.data(), static_cast<TR>(r[0]),
-                       static_cast<TR>(r[1]), static_cast<TR>(r[2]), m, d, dx, dy, dz);
-    }
+    min_image_row(mik_, sx_.data(), sy_.data(), sz_.data(), x0, y0, z0, this->num_sources_, d, dx,
+                  dy, dz);
   }
 
   const ParticleSet<TR>* source_;
   MinImageKernel<TR> mik_;
   Matrix<TR> d_, dx_, dy_, dz_;
   aligned_vector<TR> sx_, sy_, sz_;
-  std::vector<Pos> src_pos_;
   aligned_vector<TR> temp_dx_, temp_dy_, temp_dz_;
 };
 

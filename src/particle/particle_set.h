@@ -1,11 +1,17 @@
 // ParticleSet: positions plus their derived relation tables.
 //
-// Faithful to the paper's Fig. 4/5 abstraction: the AoS positions R are
-// the source of truth the physics layer sees; the complementary SoA
-// mirror Rsoa feeds the vectorized kernels; distance tables hang off the
-// set and are driven through the makeMove / acceptMove / rejectMove
-// protocol of the PbyP update. The template parameter TR is the compute
-// (table) precision: double for Ref, float under mixed precision.
+// The canonical position store is the SoA container (paper Sec. 7.3,
+// Fig. 5): every hot kernel reads cache-aligned, unit-stride component
+// rows directly. AoS access survives only as a thin compat view --
+// pos(i)/set_pos(i) element accessors and a scatter-on-demand positions()
+// vector for consumers that genuinely need AoS (Ewald phase tables,
+// tests). There is no AoS mirror to refresh: update(), clone and the
+// walker load/store paths carry exactly one representation, and an
+// accepted move writes the "6 floats" of Sec. 7.3 and nothing else.
+// Distance tables hang off the set and are driven through the
+// prepare_move / make_move / accept_move / reject_move protocol of the
+// PbyP update. The template parameter TR is the compute (table)
+// precision: double for Ref, float under mixed precision.
 #ifndef QMCXX_PARTICLE_PARTICLE_SET_H
 #define QMCXX_PARTICLE_PARTICLE_SET_H
 
@@ -59,8 +65,8 @@ public:
       total += c;
       group_last_.push_back(total);
     }
-    R.assign(total, Pos{});
-    Rsoa.resize(total);
+    rsoa_.resize(total);
+    aos_dirty_ = true;
     group_id_.resize(total);
     for (std::size_t g = 0; g < counts.size(); ++g)
       for (int i = group_first_[g]; i < group_last_[g]; ++i)
@@ -69,21 +75,64 @@ public:
 
   const std::string& name() const { return name_; }
   const Lattice& lattice() const { return lattice_; }
-  int size() const { return static_cast<int>(R.size()); }
+  int size() const { return static_cast<int>(rsoa_.size()); }
   int num_species() const { return static_cast<int>(species_.size()); }
   int group_id(int i) const { return group_id_[i]; }
   int first(int group) const { return group_first_[group]; }
   int last(int group) const { return group_last_[group]; }
   const SpeciesInfo& species(int g) const { return species_[g]; }
 
-  // ---- state ----------------------------------------------------------
-  std::vector<Pos> R;              ///< AoS positions (paper Fig. 4)
-  VectorSoaContainer<TR, 3> Rsoa;  ///< SoA mirror (paper Fig. 5)
+  // ---- state: canonical SoA storage ------------------------------------
+  /// The canonical position store (paper Fig. 5). Kernels read component
+  /// rows via Rsoa().data(d); all writes go through set_pos/set_positions
+  /// or the move protocol so the compat view stays coherent.
+  const VectorSoaContainer<TR, 3>& Rsoa() const { return rsoa_; }
 
-  /// Refresh Rsoa and all distance tables from R (measurement state).
+  /// AoS compat view of one position (gathered from the SoA rows).
+  Pos pos(int i) const
+  {
+    return Pos{static_cast<double>(rsoa_(0, i)), static_cast<double>(rsoa_(1, i)),
+               static_cast<double>(rsoa_(2, i))};
+  }
+
+  /// Scatter one position into the canonical rows.
+  void set_pos(int i, const Pos& r)
+  {
+    rsoa_.assign(i, r);
+    aos_dirty_ = true;
+  }
+
+  /// Bulk AoS ingestion: the single surviving AoS-to-SoA conversion
+  /// (walker load, system setup). This is what remains of the former
+  /// scattered `Rsoa = R` mirror refreshes after their centralisation
+  /// and removal.
+  void set_positions(const std::vector<Pos>& r)
+  {
+    assert(r.size() == rsoa_.size());
+    rsoa_ = r;
+    aos_dirty_ = true;
+  }
+
+  /// Scatter-on-demand AoS view of all positions (double precision),
+  /// cached until the next position write. For consumers that need the
+  /// whole AoS vector (Ewald phase tables, serialization); hot kernels
+  /// use Rsoa() rows instead.
+  const std::vector<Pos>& positions() const
+  {
+    if (aos_dirty_)
+    {
+      aos_view_.resize(rsoa_.size());
+      for (std::size_t i = 0; i < rsoa_.size(); ++i)
+        aos_view_[i] = pos(static_cast<int>(i));
+      aos_dirty_ = false;
+    }
+    return aos_view_;
+  }
+
+  /// Refresh all distance tables from the canonical positions
+  /// (measurement state). No layout mirroring happens here.
   void update()
   {
-    Rsoa = R;
     for (auto& dt : tables_)
       dt->evaluate(*this);
   }
@@ -108,8 +157,7 @@ public:
     c->group_id_ = group_id_;
     c->group_first_ = group_first_;
     c->group_last_ = group_last_;
-    c->R = R;
-    c->Rsoa = R;
+    c->rsoa_ = rsoa_;
     for (const auto& dt : tables_)
       c->tables_.push_back(dt->clone());
     return c;
@@ -143,8 +191,8 @@ public:
   void accept_move(int k)
   {
     assert(k == active_);
-    R[k] = active_pos_;
-    Rsoa.assign(k, active_pos_); // the "6 floats" update of Sec. 7.3
+    rsoa_.assign(k, active_pos_); // the "6 floats" update of Sec. 7.3
+    aos_dirty_ = true;
     for (auto& dt : tables_)
       dt->update(k);
     active_ = -1;
@@ -161,16 +209,17 @@ public:
   const Pos& active_pos() const { return active_pos_; }
 
   // ---- walker interaction ------------------------------------------------
-  /// Copy a walker's configuration in (paper Fig. 4 loadWalker); callers
-  /// decide whether tables need evaluate() or are restored from buffer.
+  /// Scatter a walker's configuration into the canonical store (paper
+  /// Fig. 4 loadWalker): one pass, no mirror. Callers decide whether
+  /// tables need evaluate() or are restored from buffer.
   void load_walker(const Walker& w)
   {
     assert(static_cast<int>(w.R.size()) == size());
-    R = w.R;
-    Rsoa = R;
+    set_positions(w.R);
   }
 
-  void store_walker(Walker& w) const { w.R = R; }
+  /// Gather the canonical store back into the walker's AoS record.
+  void store_walker(Walker& w) const { rsoa_.copyTo(w.R); }
 
   // ---- multi-walker (crowd) batched staging ---------------------------
   // Flat loops over the per-walker sets; one call per crowd keeps the
@@ -235,6 +284,9 @@ private:
   std::vector<int> group_id_;
   std::vector<int> group_first_;
   std::vector<int> group_last_;
+  VectorSoaContainer<TR, 3> rsoa_; ///< canonical SoA storage (Fig. 5)
+  mutable std::vector<Pos> aos_view_; ///< scatter-on-demand compat view
+  mutable bool aos_dirty_ = true;
   std::vector<std::unique_ptr<DistanceTable<TR>>> tables_;
   int active_ = -1;
   Pos active_pos_{};

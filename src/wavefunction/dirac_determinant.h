@@ -92,7 +92,7 @@ public:
     Matrix<double> a(nel_, nel_);
     for (int i = 0; i < nel_; ++i)
     {
-      spos_->evaluate_vgl(p.R[first_ + i], psiv_.data(), dpsiv_, d2psiv_.data());
+      spos_->evaluate_vgl(p.pos(first_ + i), psiv_.data(), dpsiv_, d2psiv_.data());
       for (int j = 0; j < nel_; ++j)
         a(i, j) = static_cast<double>(psiv_[j]);
       copy_derivative_rows(i);

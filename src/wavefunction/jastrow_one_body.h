@@ -303,11 +303,12 @@ public:
   double evaluate_log(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
   {
     ScopedTimer timer(Kernel::J1);
-    auto& dt = p.template table_as<SoaDistanceTableAB<TR>>(this->table_index_);
+    const auto& dt = p.table(this->table_index_);
     double logval = 0.0;
     for (int i = 0; i < this->nel_; ++i)
     {
-      const auto sums = row_sums(dt.row_d(i), dt.row_dx(i), dt.row_dy(i), dt.row_dz(i));
+      const DTRowView<TR> row = dt.row(i);
+      const auto sums = row_sums(row.d, row.dx, row.dy, row.dz);
       vat_[i] = sums.u;
       d2vat_[i] = sums.d2;
       dvat_.assign(i, TinyVector<TR, 3>{sums.gx, sums.gy, sums.gz});
@@ -321,7 +322,7 @@ public:
   double ratio(ParticleSet<TR>& p, int k) override
   {
     ScopedTimer timer(Kernel::J1);
-    auto& dt = p.template table_as<SoaDistanceTableAB<TR>>(this->table_index_);
+    const auto& dt = p.table(this->table_index_);
     double unew = 0.0;
     for (int gI = 0; gI < static_cast<int>(this->functors_.size()); ++gI)
     {
@@ -336,8 +337,9 @@ public:
   double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) override
   {
     ScopedTimer timer(Kernel::J1);
-    auto& dt = p.template table_as<SoaDistanceTableAB<TR>>(this->table_index_);
-    const auto sums = row_sums(dt.temp_r(), dt.temp_dx(), dt.temp_dy(), dt.temp_dz());
+    const auto& dt = p.table(this->table_index_);
+    const DTRowView<TR> trow = dt.temp_row();
+    const auto sums = row_sums(trow.d, trow.dx, trow.dy, trow.dz);
     cur_sums_ = sums;
     cur_valid_ = true;
     grad = Grad{static_cast<double>(sums.gx), static_cast<double>(sums.gy),

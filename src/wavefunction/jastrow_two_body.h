@@ -336,18 +336,19 @@ public:
   double evaluate_log(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
   {
     ScopedTimer timer(Kernel::J2);
-    auto& dt = p.template table_as<SoaDistanceTableAA<TR>>(this->table_index_);
+    const auto& dt = p.table(this->table_index_);
     const int n = this->nel_;
     double logval = 0.0;
     for (int i = 0; i < n; ++i)
     {
-      compute_row_vgl(p, dt.row_d(i), i, cur_u_.data(), cur_dur_.data(), cur_d2u_.data());
+      const DTRowView<TR> row = dt.row(i);
+      compute_row_vgl(p, row.d, i, cur_u_.data(), cur_dur_.data(), cur_d2u_.data());
       TR usum = 0, d2sum = 0;
       TR gx = 0, gy = 0, gz = 0;
       const TR* __restrict du = cur_dur_.data();
-      const TR* __restrict dx = dt.row_dx(i);
-      const TR* __restrict dy = dt.row_dy(i);
-      const TR* __restrict dz = dt.row_dz(i);
+      const TR* __restrict dx = row.dx;
+      const TR* __restrict dy = row.dy;
+      const TR* __restrict dz = row.dz;
 #pragma omp simd reduction(+ : usum, d2sum, gx, gy, gz)
       for (int j = 0; j < n; ++j)
       {
@@ -370,7 +371,7 @@ public:
   double ratio(ParticleSet<TR>& p, int k) override
   {
     ScopedTimer timer(Kernel::J2);
-    auto& dt = p.template table_as<SoaDistanceTableAA<TR>>(this->table_index_);
+    const auto& dt = p.table(this->table_index_);
     const double unew = sum_u(p, dt.temp_r(), k);
     cur_valid_ = false;
     return std::exp(static_cast<double>(uat_[k]) - unew);
@@ -379,14 +380,15 @@ public:
   double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) override
   {
     ScopedTimer timer(Kernel::J2);
-    auto& dt = p.template table_as<SoaDistanceTableAA<TR>>(this->table_index_);
-    compute_row_vgl(p, dt.temp_r(), k, cur_u_.data(), cur_dur_.data(), cur_d2u_.data());
+    const auto& dt = p.table(this->table_index_);
+    const DTRowView<TR> trow = dt.temp_row();
+    compute_row_vgl(p, trow.d, k, cur_u_.data(), cur_dur_.data(), cur_d2u_.data());
     const int n = this->nel_;
     TR usum = 0, gx = 0, gy = 0, gz = 0;
     const TR* __restrict du = cur_dur_.data();
-    const TR* __restrict dx = dt.temp_dx();
-    const TR* __restrict dy = dt.temp_dy();
-    const TR* __restrict dz = dt.temp_dz();
+    const TR* __restrict dx = trow.dx;
+    const TR* __restrict dy = trow.dy;
+    const TR* __restrict dz = trow.dz;
 #pragma omp simd reduction(+ : usum, gx, gy, gz)
     for (int j = 0; j < n; ++j)
     {
@@ -412,7 +414,7 @@ public:
   void accept_move(ParticleSet<TR>& p, int k) override
   {
     ScopedTimer timer(Kernel::J2);
-    auto& dt = p.template table_as<SoaDistanceTableAA<TR>>(this->table_index_);
+    const auto& dt = p.table(this->table_index_);
     if (!cur_valid_)
     {
       Grad dummy;
@@ -421,7 +423,9 @@ public:
     const int n = this->nel_;
     // Old pair quantities from the committed row k (fresh: prepare_move
     // recomputed it under the compute-on-the-fly policy).
-    compute_row_vgl(p, dt.row_d(k), k, old_u_.data(), old_dur_.data(), old_d2u_.data());
+    const DTRowView<TR> orow = dt.row(k);
+    const DTRowView<TR> trow = dt.temp_row();
+    compute_row_vgl(p, orow.d, k, old_u_.data(), old_dur_.data(), old_d2u_.data());
 
     const TR* __restrict nu = cur_u_.data();
     const TR* __restrict ndu = cur_dur_.data();
@@ -429,12 +433,12 @@ public:
     const TR* __restrict ou = old_u_.data();
     const TR* __restrict odu = old_dur_.data();
     const TR* __restrict od2 = old_d2u_.data();
-    const TR* __restrict ndx = dt.temp_dx();
-    const TR* __restrict ndy = dt.temp_dy();
-    const TR* __restrict ndz = dt.temp_dz();
-    const TR* __restrict odx = dt.row_dx(k);
-    const TR* __restrict ody = dt.row_dy(k);
-    const TR* __restrict odz = dt.row_dz(k);
+    const TR* __restrict ndx = trow.dx;
+    const TR* __restrict ndy = trow.dy;
+    const TR* __restrict ndz = trow.dz;
+    const TR* __restrict odx = orow.dx;
+    const TR* __restrict ody = orow.dy;
+    const TR* __restrict odz = orow.dz;
 
     TR usum = 0, d2sum = 0, gx = 0, gy = 0, gz = 0;
     TR* __restrict uat = uat_.data();

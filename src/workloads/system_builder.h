@@ -41,7 +41,12 @@ struct QMCSystem
 
 struct BuildOptions
 {
-  bool soa_layout = true;   ///< SoA tables/Jastrows/multi-spline vs AoS
+  bool soa_layout = true;   ///< SoA engine (Jastrows/multi-spline) vs AoS Ref engine
+  /// Distance-table layout for the SoA engine: Canonical (SoA rows) or
+  /// Reference (Fig. 6a AoS tables consumed through the unified row
+  /// interface -- parity tests and baseline benches only). The AoS Ref
+  /// engine (soa_layout = false) always uses Reference tables.
+  LayoutMode layout = LayoutMode::Canonical;
   bool with_hamiltonian = true;
   std::uint64_t seed = 20170708;
   DTUpdateMode dt_mode = DTUpdateMode::OnTheFly; ///< SoA AA policy
@@ -58,8 +63,7 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   for (const auto& sp : info.species)
     sys.ions->add_species(sp.name, sp.charge);
   sys.ions->create(info.ion_counts);
-  sys.ions->R = info.ion_positions;
-  sys.ions->Rsoa = sys.ions->R;
+  sys.ions->set_positions(info.ion_positions);
 
   // ---- electrons: ion-centered gaussian clouds, spin-alternating -------
   const int n = info.num_electrons;
@@ -74,15 +78,15 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
     // make the Slater matrix nearly singular for the heavy NiO cells.
     RandomGenerator rng(opt.seed ^ 0xe1ec7206u);
     for (int e = 0; e < n; ++e)
-      sys.elec->R[e] =
-          info.lattice.to_cart(TinyVector<double, 3>{rng.uniform(), rng.uniform(), rng.uniform()});
-    sys.elec->Rsoa = sys.elec->R;
+      sys.elec->set_pos(
+          e, info.lattice.to_cart(TinyVector<double, 3>{rng.uniform(), rng.uniform(), rng.uniform()}));
   }
 
   // ---- distance tables ---------------------------------------------------
   {
     MemoryScope scope("dist-tables");
-    if (opt.soa_layout)
+    const bool canonical_tables = opt.soa_layout && opt.layout == LayoutMode::Canonical;
+    if (canonical_tables)
     {
       sys.table_ee = sys.elec->add_table(
           std::make_unique<SoaDistanceTableAA<TR>>(info.lattice, n, opt.dt_mode));
@@ -173,11 +177,11 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   {
     sys.ham = std::make_unique<Hamiltonian<TR>>();
     sys.ham->add_component(std::make_unique<KineticEnergy<TR>>());
-    sys.ham->add_component(std::make_unique<CoulombEE<TR>>(info.lattice));
+    sys.ham->add_component(std::make_unique<CoulombEE<TR>>(info.lattice, sys.table_ee));
     std::vector<double> r_core;
     for (const auto& sp : info.species)
       r_core.push_back(sp.r_core);
-    sys.ham->add_component(std::make_unique<CoulombEI<TR>>(*sys.ions, r_core));
+    sys.ham->add_component(std::make_unique<CoulombEI<TR>>(*sys.ions, r_core, sys.table_ei));
     sys.ham->add_component(std::make_unique<CoulombII<TR>>(*sys.ions));
     if (info.has_pseudopotential)
     {

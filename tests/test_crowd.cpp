@@ -77,7 +77,7 @@ std::vector<std::unique_ptr<Walker>> make_registered_walkers(QMCSystem<TR>& sys,
     w->id = static_cast<std::uint64_t>(iw);
     RandomGenerator rng(seed + 31ull * static_cast<std::uint64_t>(iw));
     for (int i = 0; i < sys.elec->size(); ++i)
-      w->R[i] = sys.elec->R[i] +
+      w->R[i] = sys.elec->pos(i) +
           TinyVector<double, 3>{0.1 * rng.gaussian(), 0.1 * rng.gaussian(), 0.1 * rng.gaussian()};
     sys.elec->load_walker(*w);
     sys.elec->update();
@@ -201,7 +201,7 @@ TEST(CrowdKernels, BatchedRatioGradMatchesScalar)
   {
     std::vector<TinyVector<double, 3>> rnew(nw);
     for (int iw = 0; iw < nw; ++iw)
-      rnew[iw] = batched.elec(iw).R[k] +
+      rnew[iw] = batched.elec(iw).pos(k) +
           TinyVector<double, 3>{0.2 * move_rng.gaussian(), 0.2 * move_rng.gaussian(),
                                 0.2 * move_rng.gaussian()};
 

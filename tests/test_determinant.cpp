@@ -41,7 +41,7 @@ void brute_logdet(SPOSet<TR>& spos, const ParticleSet<TR>& p, int first, int nel
   Matrix<double> a(nel, nel);
   for (int i = 0; i < nel; ++i)
   {
-    spos.evaluate_v(p.R[first + i], psi.data());
+    spos.evaluate_v(p.pos(first + i), psi.data());
     for (int j = 0; j < nel; ++j)
       a(i, j) = static_cast<double>(psi[j]);
   }
@@ -82,7 +82,7 @@ double inverse_residual(SPOSet<TR>& spos, const ParticleSet<TR>& p,
   Matrix<double> a(n, n);
   for (int i = 0; i < n; ++i)
   {
-    spos.evaluate_v(p.R[det.first() + i], psi.data());
+    spos.evaluate_v(p.pos(det.first() + i), psi.data());
     for (int j = 0; j < n; ++j)
       a(i, j) = static_cast<double>(psi[j]);
   }
@@ -126,15 +126,15 @@ TEST(DiracDeterminant, RatioMatchesDeterminantQuotient)
   for (int k : {0, 3, 9})
   {
     const TinyVector<double, 3> rnew =
-        s.p->R[k] + TinyVector<double, 3>{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+        s.p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
                                           rng.uniform(-0.5, 0.5)};
     double log0, sign0;
     brute_logdet(*s.spos, *s.p, 0, kNel, log0, sign0);
-    const auto saved = s.p->R[k];
-    s.p->R[k] = rnew;
+    const auto saved = s.p->pos(k);
+    s.p->set_pos(k, rnew);
     double log1, sign1;
     brute_logdet(*s.spos, *s.p, 0, kNel, log1, sign1);
-    s.p->R[k] = saved;
+    s.p->set_pos(k, saved);
     const double expect = sign0 * sign1 * std::exp(log1 - log0);
 
     s.p->make_move(k, rnew);
@@ -156,7 +156,7 @@ TEST(DiracDeterminant, ShermanMorrisonMatchesFreshInverse)
   for (int k = 0; k < kNel; ++k)
   {
     const TinyVector<double, 3> rnew =
-        s.p->R[k] + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+        s.p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
                                           rng.uniform(-0.3, 0.3)};
     s.p->make_move(k, rnew);
     TinyVector<double, 3> grad{};
@@ -190,16 +190,16 @@ TEST(DiracDeterminant, GradientMatchesFiniteDifference)
   const double h = 1e-5;
   for (unsigned d = 0; d < 3; ++d)
   {
-    const auto r0 = s.p->R[k];
+    const auto r0 = s.p->pos(k);
     auto rp = r0, rm = r0;
     rp[d] += h;
     rm[d] -= h;
     double lp, lm, sign;
-    s.p->R[k] = rp;
+    s.p->set_pos(k, rp);
     brute_logdet(*s.spos, *s.p, 0, kNel, lp, sign);
-    s.p->R[k] = rm;
+    s.p->set_pos(k, rm);
     brute_logdet(*s.spos, *s.p, 0, kNel, lm, sign);
-    s.p->R[k] = r0;
+    s.p->set_pos(k, r0);
     EXPECT_NEAR(g[k][d], (lp - lm) / (2 * h), 1e-4) << d;
   }
   // eval_grad agrees with the accumulated G.
@@ -222,16 +222,16 @@ TEST(DiracDeterminant, LaplacianMatchesFiniteDifference)
   double lap_fd = 0;
   for (unsigned d = 0; d < 3; ++d)
   {
-    const auto r0 = s.p->R[k];
+    const auto r0 = s.p->pos(k);
     auto rp = r0, rm = r0;
     rp[d] += h;
     rm[d] -= h;
     double lp, lm;
-    s.p->R[k] = rp;
+    s.p->set_pos(k, rp);
     brute_logdet(*s.spos, *s.p, 0, kNel, lp, sign);
-    s.p->R[k] = rm;
+    s.p->set_pos(k, rm);
     brute_logdet(*s.spos, *s.p, 0, kNel, lm, sign);
-    s.p->R[k] = r0;
+    s.p->set_pos(k, r0);
     lap_fd += (lp - 2 * l0 + lm) / (h * h);
   }
   EXPECT_NEAR(l[k], lap_fd, 5e-3 * std::max(1.0, std::abs(lap_fd)));
@@ -244,7 +244,7 @@ TEST(DiracDeterminant, RatioGradConsistentWithRatio)
   std::vector<double> l(kNel);
   s.det->evaluate_log(*s.p, g, l);
   const int k = 2;
-  s.p->make_move(k, s.p->R[k] + TinyVector<double, 3>{0.25, 0.1, -0.2});
+  s.p->make_move(k, s.p->pos(k) + TinyVector<double, 3>{0.25, 0.1, -0.2});
   const double r1 = s.det->ratio(*s.p, k);
   TinyVector<double, 3> grad{};
   const double r2 = s.det->ratio_grad(*s.p, k, grad);
@@ -270,7 +270,7 @@ TEST(DiracDeterminant, BufferRoundTrip)
   // Scramble with accepted moves.
   for (int k = 0; k < 3; ++k)
   {
-    s.p->make_move(k, s.p->R[k] + TinyVector<double, 3>{0.2, -0.1, 0.15});
+    s.p->make_move(k, s.p->pos(k) + TinyVector<double, 3>{0.2, -0.1, 0.15});
     TinyVector<double, 3> grad{};
     s.det->ratio_grad(*s.p, k, grad);
     s.det->accept_move(*s.p, k);
@@ -305,7 +305,7 @@ TEST(DiracDeterminantMixedPrecision, RecomputeRepairsDrift)
   for (int sweep = 0; sweep < 30; ++sweep)
     for (int k = 0; k < kNel; ++k)
     {
-      pf->make_move(k, pf->R[k] +
+      pf->make_move(k, pf->pos(k) +
                            TinyVector<double, 3>{move_rng.uniform(-0.2, 0.2),
                                                  move_rng.uniform(-0.2, 0.2),
                                                  move_rng.uniform(-0.2, 0.2)});
@@ -355,7 +355,7 @@ TEST(DelayedUpdate, RatioMatchesShermanMorrisonPath)
   for (int k = 0; k < kNel; ++k)
   {
     const TinyVector<double, 3> rnew =
-        s1.p->R[k] + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+        s1.p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
                                            rng.uniform(-0.3, 0.3)};
     // Path 1: rank-1 SM via the component.
     s1.p->make_move(k, rnew);
@@ -371,8 +371,7 @@ TEST(DelayedUpdate, RatioMatchesShermanMorrisonPath)
       s1.det->accept_move(*s1.p, k);
       s1.p->accept_move(k);
       engine.accept(psiv.data(), k);
-      s2.p->R[k] = rnew;
-      s2.p->Rsoa.assign(k, rnew);
+      s2.p->set_pos(k, rnew);
     }
     else
     {
@@ -406,11 +405,11 @@ TEST(DelayedUpdate, GetInvRowSeesPendingUpdates)
   for (int k : {1, 4})
   {
     const TinyVector<double, 3> rnew =
-        s.p->R[k] + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
+        s.p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
                                           rng.uniform(-0.3, 0.3)};
     s.spos->evaluate_v(rnew, psiv.data());
     engine.accept(psiv.data(), k);
-    s.p->R[k] = rnew;
+    s.p->set_pos(k, rnew);
   }
   ASSERT_EQ(engine.pending(), 2);
   // Corrected rows must match the flushed inverse.
@@ -438,11 +437,11 @@ TEST(DelayedUpdate, AutoFlushAtDelayWindow)
   for (int k : {0, 1})
   {
     const TinyVector<double, 3> rnew =
-        s.p->R[k] + TinyVector<double, 3>{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+        s.p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
                                           rng.uniform(-0.2, 0.2)};
     s.spos->evaluate_v(rnew, psiv.data());
     engine.accept(psiv.data(), k);
-    s.p->R[k] = rnew;
+    s.p->set_pos(k, rnew);
   }
   EXPECT_EQ(engine.pending(), 0); // auto-flushed at delay=2
   s.p->update();
@@ -474,8 +473,8 @@ TEST(DelayedDeterminantComponent, TracksStandardDeterminantThroughSweeps)
     {
       const TinyVector<double, 3> dr{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
                                      rng.uniform(-0.3, 0.3)};
-      s1.p->make_move(k, s1.p->R[k] + dr);
-      p2->make_move(k, p2->R[k] + dr);
+      s1.p->make_move(k, s1.p->pos(k) + dr);
+      p2->make_move(k, p2->pos(k) + dr);
       TinyVector<double, 3> grad1{}, grad2{};
       const double r1 = s1.det->ratio_grad(*s1.p, k, grad1);
       const double r2 = det_d.ratio_grad(*p2, k, grad2);
@@ -528,7 +527,7 @@ TEST(DelayedDeterminantComponent, EvalGradSeesPendingUpdates)
   RandomGenerator rng(77);
   for (int k : {0, 5})
   {
-    s.p->make_move(k, s.p->R[k] + TinyVector<double, 3>{0.2, -0.15, 0.1});
+    s.p->make_move(k, s.p->pos(k) + TinyVector<double, 3>{0.2, -0.15, 0.1});
     TinyVector<double, 3> grad{};
     det.ratio_grad(*s.p, k, grad);
     det.accept_move(*s.p, k);
@@ -555,7 +554,7 @@ TEST(DelayedDeterminantComponent, BufferUpdateFlushesPending)
   Walker w(kNel);
   det.register_data(w.buffer);
 
-  s.p->make_move(2, s.p->R[2] + TinyVector<double, 3>{0.2, 0.2, 0.2});
+  s.p->make_move(2, s.p->pos(2) + TinyVector<double, 3>{0.2, 0.2, 0.2});
   TinyVector<double, 3> grad{};
   det.ratio_grad(*s.p, 2, grad);
   det.accept_move(*s.p, 2);

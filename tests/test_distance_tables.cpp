@@ -1,9 +1,15 @@
 // Unit + property tests for the distance tables: AoS packed-triangle vs
 // SoA full-row layouts, forward-update vs compute-on-the-fly policies,
-// and the PbyP move protocol (paper Fig. 6).
+// the PbyP move protocol (paper Fig. 6), and the layout-parity
+// guarantees: Reference (AoS) and canonical (SoA) tables serve
+// bitwise-identical rows through the unified DTRowView interface, and
+// whole VMC/DMC chains are bitwise-identical across layout modes.
 #include <gtest/gtest.h>
 
 #include <memory>
+
+#include "drivers/qmc_driver_impl.h"
+#include "workloads/system_builder.h"
 
 #include "test_utils.h"
 
@@ -57,7 +63,7 @@ TEST_P(DistanceTableAA, EvaluateMatchesExactDistances)
     {
       if (i == j)
         continue;
-      EXPECT_NEAR(dt.dist(i, j), exact_dist(p->lattice(), p->R[i], p->R[j]), 1e-12)
+      EXPECT_NEAR(dt.dist(i, j), exact_dist(p->lattice(), p->pos(i), p->pos(j)), 1e-12)
           << i << "," << j;
     }
 }
@@ -74,7 +80,7 @@ TEST_P(DistanceTableAA, DisplacementConventionIsTowardsSource)
       if (i == j)
         continue;
       const auto d = dt.displ(i, j);
-      const auto expect = p->lattice().min_image(p->R[j] - p->R[i]);
+      const auto expect = p->lattice().min_image(p->pos(j) - p->pos(i));
       for (unsigned dd = 0; dd < 3; ++dd)
         EXPECT_NEAR(d[dd], expect[dd], 1e-12);
       EXPECT_NEAR(norm(d), dt.dist(i, j), 1e-12);
@@ -87,7 +93,7 @@ TEST_P(DistanceTableAA, MoveFillsTempRow)
   auto p = make_system(ti);
   auto& dt = p->table(ti);
   const int k = 7;
-  const TinyVector<double, 3> rnew = p->R[k] + TinyVector<double, 3>{0.3, -0.2, 0.5};
+  const TinyVector<double, 3> rnew = p->pos(k) + TinyVector<double, 3>{0.3, -0.2, 0.5};
   p->prepare_move(k);
   p->make_move(k, rnew);
   const double* tr = dt.temp_r();
@@ -95,7 +101,7 @@ TEST_P(DistanceTableAA, MoveFillsTempRow)
   {
     if (j == k)
       continue;
-    EXPECT_NEAR(tr[j], exact_dist(p->lattice(), rnew, p->R[j]), 1e-12) << j;
+    EXPECT_NEAR(tr[j], exact_dist(p->lattice(), rnew, p->pos(j)), 1e-12) << j;
   }
   p->reject_move(k);
 }
@@ -111,7 +117,7 @@ TEST_P(DistanceTableAA, SweepWithAcceptsKeepsRowsConsistent)
   {
     p->prepare_move(k);
     const TinyVector<double, 3> rnew =
-        p->R[k] + TinyVector<double, 3>{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+        p->pos(k) + TinyVector<double, 3>{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
                                         rng.uniform(-0.4, 0.4)};
     p->make_move(k, rnew);
     if (k % 2 == 0)
@@ -131,7 +137,7 @@ TEST_P(DistanceTableAA, SweepWithAcceptsKeepsRowsConsistent)
         if (j == k + 1)
           continue;
         const auto& param = GetParam();
-        const double expect = exact_dist(p->lattice(), p->R[k + 1], p->R[j]);
+        const double expect = exact_dist(p->lattice(), p->pos(k + 1), p->pos(j));
         if (param.soa)
         {
           auto& soa = p->template table_as<SoaDistanceTableAA<double>>(ti);
@@ -149,7 +155,7 @@ TEST_P(DistanceTableAA, SweepWithAcceptsKeepsRowsConsistent)
   p->update();
   for (int i = 0; i < kN; ++i)
     for (int j = i + 1; j < kN; ++j)
-      EXPECT_NEAR(p->table(ti).dist(i, j), exact_dist(p->lattice(), p->R[i], p->R[j]), 1e-12);
+      EXPECT_NEAR(p->table(ti).dist(i, j), exact_dist(p->lattice(), p->pos(i), p->pos(j)), 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAA,
@@ -173,12 +179,12 @@ TEST(DistanceTableAASoA, ForwardUpdateMaintainsColumnBelowK)
   p->update();
   auto& dt = p->template table_as<SoaDistanceTableAA<double>>(ti);
   const int k = 3;
-  const TinyVector<double, 3> rnew = p->R[k] + TinyVector<double, 3>{0.7, 0.1, -0.4};
+  const TinyVector<double, 3> rnew = p->pos(k) + TinyVector<double, 3>{0.7, 0.1, -0.4};
   p->make_move(k, rnew);
   p->accept_move(k);
   // Rows i > k must see the new distance at column k without refresh.
   for (int i = k + 1; i < n; ++i)
-    EXPECT_NEAR(dt.row_d(i)[k], exact_dist(p->lattice(), p->R[i], p->R[k]), 1e-12) << i;
+    EXPECT_NEAR(dt.row_d(i)[k], exact_dist(p->lattice(), p->pos(i), p->pos(k)), 1e-12) << i;
 }
 
 TEST(DistanceTableAASoA, SelfDistanceIsSentinel)
@@ -238,7 +244,7 @@ TEST_P(DistanceTableAB, EvaluateMatchesExact)
   auto& dt = elec_->table(ti_);
   for (int i = 0; i < kNel; ++i)
     for (int j = 0; j < kNion; ++j)
-      EXPECT_NEAR(dt.dist(i, j), exact_dist(elec_->lattice(), elec_->R[i], ions_->R[j]), 1e-12);
+      EXPECT_NEAR(dt.dist(i, j), exact_dist(elec_->lattice(), elec_->pos(i), ions_->pos(j)), 1e-12);
 }
 
 TEST_P(DistanceTableAB, MoveAndUpdateCommitRow)
@@ -246,17 +252,17 @@ TEST_P(DistanceTableAB, MoveAndUpdateCommitRow)
   build();
   auto& dt = elec_->table(ti_);
   const int k = 4;
-  const TinyVector<double, 3> rnew = elec_->R[k] + TinyVector<double, 3>{-0.5, 0.9, 0.2};
+  const TinyVector<double, 3> rnew = elec_->pos(k) + TinyVector<double, 3>{-0.5, 0.9, 0.2};
   elec_->prepare_move(k);
   elec_->make_move(k, rnew);
   for (int j = 0; j < kNion; ++j)
-    EXPECT_NEAR(dt.temp_r()[j], exact_dist(elec_->lattice(), rnew, ions_->R[j]), 1e-12);
+    EXPECT_NEAR(dt.temp_r()[j], exact_dist(elec_->lattice(), rnew, ions_->pos(j)), 1e-12);
   elec_->accept_move(k);
   for (int j = 0; j < kNion; ++j)
-    EXPECT_NEAR(dt.dist(k, j), exact_dist(elec_->lattice(), rnew, ions_->R[j]), 1e-12);
+    EXPECT_NEAR(dt.dist(k, j), exact_dist(elec_->lattice(), rnew, ions_->pos(j)), 1e-12);
   // Other rows untouched.
   for (int j = 0; j < kNion; ++j)
-    EXPECT_NEAR(dt.dist(0, j), exact_dist(elec_->lattice(), elec_->R[0], ions_->R[j]), 1e-12);
+    EXPECT_NEAR(dt.dist(0, j), exact_dist(elec_->lattice(), elec_->pos(0), ions_->pos(j)), 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAB, ::testing::Values(false, true),
@@ -280,6 +286,194 @@ TEST(DistanceTableMixedPrecision, FloatTablesTrackDouble)
         continue;
       EXPECT_NEAR(pd->table(td).dist(i, j), static_cast<double>(pf->table(tf).dist(i, j)), 2e-6);
     }
+}
+
+// ---------------------------------------------------------------------
+// Layout parity: Reference (AoS) vs canonical (SoA) through the unified
+// row interface, on a skewed (hexagonal graphite) lattice.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/// Bitwise comparison of two row views over n entries, skipping `skip`
+/// (the self index, where only the distance sentinel is specified).
+void expect_rows_identical(const DTRowView<double>& a, const DTRowView<double>& b, int n,
+                           int skip, const char* what)
+{
+  for (int j = 0; j < n; ++j)
+  {
+    if (j == skip)
+    {
+      EXPECT_EQ(a.d[j], b.d[j]) << what << " sentinel j=" << j;
+      continue;
+    }
+    EXPECT_EQ(a.d[j], b.d[j]) << what << " d j=" << j;
+    EXPECT_EQ(a.dx[j], b.dx[j]) << what << " dx j=" << j;
+    EXPECT_EQ(a.dy[j], b.dy[j]) << what << " dy j=" << j;
+    EXPECT_EQ(a.dz[j], b.dz[j]) << what << " dz j=" << j;
+  }
+}
+
+} // namespace
+
+TEST(LayoutParity, HexagonalAARowsBitwiseIdentical)
+{
+  // Graphite's cell shape: hexagonal, exercising the general-cell
+  // min-image kernel shared by both layouts.
+  const int n = 20;
+  Lattice lat = Lattice::hexagonal(4.65, 12.68);
+  ParticleSet<double> p("e", lat);
+  p.add_species("u", -1.0);
+  p.add_species("d", -1.0);
+  p.create({n / 2, n / 2});
+  RandomGenerator rng(21);
+  randomize_positions(p, rng);
+  const int ta = p.add_table(std::make_unique<AosDistanceTableAA<double>>(lat, n));
+  const int ts = p.add_table(std::make_unique<SoaDistanceTableAA<double>>(lat, n));
+  p.update();
+  for (int i = 0; i < n; ++i)
+    expect_rows_identical(p.table(ta).row(i), p.table(ts).row(i), n, i, "evaluate row");
+
+  // Drive both tables through a PbyP sweep with accepts: temp rows and
+  // committed rows must stay bitwise-identical under both update
+  // policies (AoS triangle copy vs SoA on-the-fly recompute).
+  for (int k = 0; k < n; ++k)
+  {
+    p.prepare_move(k);
+    // Row k is the data the PbyP consumers read at this point: fresh in
+    // both layouts (on-the-fly recompute vs always-fresh triangle).
+    expect_rows_identical(p.table(ta).row(k), p.table(ts).row(k), n, k, "prepared row");
+    const TinyVector<double, 3> rnew =
+        p.pos(k) + TinyVector<double, 3>{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+                                         rng.uniform(-0.4, 0.4)};
+    p.make_move(k, rnew);
+    expect_rows_identical(p.table(ta).temp_row(), p.table(ts).temp_row(), n, k, "temp row");
+    if (k % 2 == 0)
+      p.accept_move(k);
+    else
+      p.reject_move(k);
+  }
+  // Measurement-time refresh: every committed row identical again (the
+  // OnTheFly table deliberately leaves non-active rows stale mid-sweep).
+  p.update();
+  for (int i = 0; i < n; ++i)
+    expect_rows_identical(p.table(ta).row(i), p.table(ts).row(i), n, i, "post-sweep row");
+}
+
+TEST(LayoutParity, HexagonalABRowsBitwiseIdentical)
+{
+  const int nel = 14, nion = 6;
+  Lattice lat = Lattice::hexagonal(4.65, 12.68);
+  ParticleSet<double> ions("ion", lat);
+  ions.add_species("C", 4.0);
+  ions.create({nion});
+  RandomGenerator irng(5);
+  randomize_positions(ions, irng);
+  ParticleSet<double> elec("e", lat);
+  elec.add_species("u", -1.0);
+  elec.add_species("d", -1.0);
+  elec.create({nel / 2, nel / 2});
+  RandomGenerator rng(23);
+  randomize_positions(elec, rng);
+  const int ta = elec.add_table(std::make_unique<AosDistanceTableAB<double>>(lat, ions, nel));
+  const int ts = elec.add_table(std::make_unique<SoaDistanceTableAB<double>>(lat, ions, nel));
+  elec.update();
+  for (int i = 0; i < nel; ++i)
+    expect_rows_identical(elec.table(ta).row(i), elec.table(ts).row(i), nion, -1, "evaluate row");
+
+  for (int k = 0; k < nel; ++k)
+  {
+    elec.prepare_move(k);
+    const TinyVector<double, 3> rnew =
+        elec.pos(k) + TinyVector<double, 3>{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                                            rng.uniform(-0.5, 0.5)};
+    elec.make_move(k, rnew);
+    expect_rows_identical(elec.table(ta).temp_row(), elec.table(ts).temp_row(), nion, -1,
+                          "temp row");
+    if (k % 3 != 0)
+      elec.accept_move(k);
+    else
+      elec.reject_move(k);
+  }
+  for (int i = 0; i < nel; ++i)
+    expect_rows_identical(elec.table(ta).row(i), elec.table(ts).row(i), nion, -1,
+                          "post-sweep row");
+}
+
+namespace
+{
+
+DriverConfig parity_config(int steps, int walkers)
+{
+  DriverConfig cfg;
+  cfg.tau = 0.02;
+  cfg.steps = steps;
+  cfg.num_walkers = walkers;
+  cfg.seed = 20170708;
+  cfg.recompute_period = 3;
+  cfg.threads = 1;
+  return cfg;
+}
+
+RunResult run_graphite(LayoutMode layout, DTUpdateMode mode, bool dmc, int steps, int walkers)
+{
+  const WorkloadInfo& info = workload_info(Workload::Graphite);
+  BuildOptions opt;
+  opt.layout = layout;
+  opt.dt_mode = mode;
+  auto sys = build_system<double>(info, opt);
+  QMCDriver<double> driver(*sys.elec, *sys.twf, *sys.ham, parity_config(steps, walkers));
+  driver.initialize_population();
+  return dmc ? driver.run_dmc() : driver.run_vmc();
+}
+
+void expect_chains_identical(const RunResult& a, const RunResult& b, const char* what)
+{
+  ASSERT_EQ(a.generations.size(), b.generations.size()) << what;
+  for (std::size_t g = 0; g < a.generations.size(); ++g)
+  {
+    EXPECT_EQ(a.generations[g].energy, b.generations[g].energy) << what << " gen " << g;
+    EXPECT_EQ(a.generations[g].variance, b.generations[g].variance) << what << " gen " << g;
+    EXPECT_EQ(a.generations[g].acceptance, b.generations[g].acceptance) << what << " gen " << g;
+    EXPECT_EQ(a.generations[g].num_walkers, b.generations[g].num_walkers) << what << " gen " << g;
+    EXPECT_EQ(a.generations[g].weight, b.generations[g].weight) << what << " gen " << g;
+  }
+}
+
+} // namespace
+
+TEST(LayoutParity, GraphiteVmcChainBitwiseIdentical)
+{
+  // Acceptance gate of the SoA-canonical refactor: the Reference (AoS)
+  // layout, consumed through the unified row interface, reproduces the
+  // canonical chain exactly -- layout is storage, not physics.
+  const RunResult soa = run_graphite(LayoutMode::Canonical, DTUpdateMode::OnTheFly,
+                                     /*dmc=*/false, /*steps=*/2, /*walkers=*/2);
+  const RunResult aos = run_graphite(LayoutMode::Reference, DTUpdateMode::OnTheFly,
+                                     /*dmc=*/false, 2, 2);
+  expect_chains_identical(soa, aos, "vmc");
+}
+
+TEST(LayoutParity, GraphiteDmcChainBitwiseIdentical)
+{
+  const RunResult soa = run_graphite(LayoutMode::Canonical, DTUpdateMode::OnTheFly,
+                                     /*dmc=*/true, /*steps=*/3, /*walkers=*/2);
+  const RunResult aos = run_graphite(LayoutMode::Reference, DTUpdateMode::OnTheFly,
+                                     /*dmc=*/true, 3, 2);
+  expect_chains_identical(soa, aos, "dmc");
+}
+
+TEST(DTUpdateModeParity, ForwardUpdateAndOnTheFlyChainsIdentical)
+{
+  // Multi-block DMC with branching: the ForwardUpdate column refresh and
+  // the OnTheFly prepare-time row recompute must expose identical
+  // committed data to every consumer (paper Sec. 7.5 equivalence).
+  const RunResult fu = run_graphite(LayoutMode::Canonical, DTUpdateMode::ForwardUpdate,
+                                    /*dmc=*/true, /*steps=*/4, /*walkers=*/3);
+  const RunResult otf = run_graphite(LayoutMode::Canonical, DTUpdateMode::OnTheFly,
+                                     /*dmc=*/true, 4, 3);
+  expect_chains_identical(fu, otf, "fu-vs-otf");
 }
 
 TEST(DistanceTableSkewedCell, SoaFallbackMatchesAos)

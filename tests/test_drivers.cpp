@@ -88,7 +88,7 @@ TEST(SystemBuilder, RefAndCurrentLogPsiAgree)
   // Same seed -> same electron start configuration.
   for (int i = 0; i < 16; ++i)
     for (unsigned d = 0; d < 3; ++d)
-      ASSERT_EQ(s1.elec->R[i][d], s2.elec->R[i][d]);
+      ASSERT_EQ(s1.elec->pos(i)[d], s2.elec->pos(i)[d]);
   s1.elec->update();
   s2.elec->update();
   const double l1 = s1.twf->evaluate_log(*s1.elec);
@@ -159,9 +159,8 @@ TEST(PlaneWaveDeterminant, KineticEnergyMatchesBandSum)
   p.add_species("u", -1.0);
   p.create({nel});
   RandomGenerator rng(5);
-  for (auto& r : p.R)
-    r = lat.to_cart({rng.uniform(), rng.uniform(), rng.uniform()});
-  p.Rsoa = p.R;
+  for (int i = 0; i < nel; ++i)
+    p.set_pos(i, lat.to_cart({rng.uniform(), rng.uniform(), rng.uniform()}));
   p.update();
 
   TrialWaveFunction<double> twf(nel);

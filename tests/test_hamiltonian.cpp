@@ -134,13 +134,12 @@ TEST(NonLocalPP, RespectsCutoff)
   ParticleSet<double> ions("ion", lat);
   ions.add_species("A", 4.0);
   ions.create({1});
-  ions.R[0] = {0, 0, 0};
-  ions.Rsoa = ions.R;
+  ions.set_pos(0, {0, 0, 0});
   ParticleSet<double> elec("e", lat);
   elec.add_species("u", -1.0);
   elec.create({2});
-  elec.R[0] = {8, 8, 8};
-  elec.R[1] = {9, 2, 9};
+  elec.set_pos(0, {8, 8, 8});
+  elec.set_pos(1, {9, 2, 9});
   const int ti = elec.add_table(std::make_unique<SoaDistanceTableAB<double>>(lat, ions, 2));
   elec.update();
   TrialWaveFunction<double> twf(2);
@@ -158,8 +157,7 @@ TEST(CoulombII, ConstantAndNegativeForNeutralCrystal)
   ions.create({4, 4});
   const std::vector<TinyVector<double, 3>> pos = {{0, 0, 0}, {2, 2, 0}, {2, 0, 2}, {0, 2, 2},
                                                   {2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {2, 2, 2}};
-  ions.R = pos;
-  ions.Rsoa = ions.R;
+  ions.set_positions(pos);
   CoulombII<double> cii(ions);
   ParticleSet<double> dummy_e("e", lat);
   TrialWaveFunction<double> twf(0);
@@ -177,13 +175,11 @@ TEST(CoulombEI, CoreRegularizationReducesSingularity)
   ParticleSet<double> ions("ion", lat);
   ions.add_species("A", 6.0);
   ions.create({1});
-  ions.R[0] = {4, 4, 4};
-  ions.Rsoa = ions.R;
+  ions.set_pos(0, {4, 4, 4});
   ParticleSet<double> elec("e", lat);
   elec.add_species("u", -1.0);
   elec.create({1});
-  elec.R[0] = {4.001, 4, 4}; // nearly on top of the ion
-  elec.Rsoa = elec.R;
+  elec.set_pos(0, {4.001, 4, 4}); // nearly on top of the ion
   TrialWaveFunction<double> twf(1);
 
   CoulombEI<double> bare(ions, {0.0});

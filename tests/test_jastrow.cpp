@@ -62,7 +62,7 @@ double brute_log_j2(const ParticleSet<double>& p, const TwoBodyJastrowBase<doubl
   for (int i = 0; i < p.size(); ++i)
     for (int jdx = i + 1; jdx < p.size(); ++jdx)
     {
-      const double r = norm(p.lattice().min_image(p.R[jdx] - p.R[i]));
+      const double r = norm(p.lattice().min_image(p.pos(jdx) - p.pos(i)));
       logval -= j.functor(p.group_id(i), p.group_id(jdx)).evaluate(r);
     }
   return logval;
@@ -111,17 +111,17 @@ TEST(TwoBodyJastrow, GradientMatchesFiniteDifference)
   for (unsigned d = 0; d < 3; ++d)
   {
     auto& p = *s.p_cur;
-    const auto r0 = p.R[k];
+    const auto r0 = p.pos(k);
     auto rp = r0, rm = r0;
     rp[d] += h;
     rm[d] -= h;
-    p.R[k] = rp;
+    p.set_pos(k, rp);
     p.update();
     const double lp = brute_log_j2(p, *s.j_cur);
-    p.R[k] = rm;
+    p.set_pos(k, rm);
     p.update();
     const double lm = brute_log_j2(p, *s.j_cur);
-    p.R[k] = r0;
+    p.set_pos(k, r0);
     p.update();
     EXPECT_NEAR(g[k][d], (lp - lm) / (2 * h), 1e-5) << d;
   }
@@ -137,7 +137,7 @@ TEST(TwoBodyJastrow, LaplacianMatchesFiniteDifference)
   const double h = 1e-4;
   const int k = 3;
   auto& p = *s.p_cur;
-  const auto r0 = p.R[k];
+  const auto r0 = p.pos(k);
   const double l0 = brute_log_j2(p, *s.j_cur);
   double lap_fd = 0;
   for (unsigned d = 0; d < 3; ++d)
@@ -145,11 +145,11 @@ TEST(TwoBodyJastrow, LaplacianMatchesFiniteDifference)
     auto rp = r0, rm = r0;
     rp[d] += h;
     rm[d] -= h;
-    p.R[k] = rp;
+    p.set_pos(k, rp);
     const double lp = brute_log_j2(p, *s.j_cur);
-    p.R[k] = rm;
+    p.set_pos(k, rm);
     const double lm = brute_log_j2(p, *s.j_cur);
-    p.R[k] = r0;
+    p.set_pos(k, r0);
     lap_fd += (lp - 2 * l0 + lm) / (h * h);
   }
   p.update();
@@ -169,13 +169,13 @@ TEST(TwoBodyJastrow, RatioMatchesLogDifferenceBothImpls)
   {
     const TinyVector<double, 3> dr{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
                                    rng.uniform(-0.5, 0.5)};
-    const auto rnew = s.p_ref->R[k] + dr;
+    const auto rnew = s.p_ref->pos(k) + dr;
 
     const double log_before = brute_log_j2(*s.p_ref, *s.j_ref);
-    auto r_saved = s.p_ref->R[k];
-    s.p_ref->R[k] = rnew;
+    auto r_saved = s.p_ref->pos(k);
+    s.p_ref->set_pos(k, rnew);
     const double log_after = brute_log_j2(*s.p_ref, *s.j_ref);
-    s.p_ref->R[k] = r_saved;
+    s.p_ref->set_pos(k, r_saved);
     const double expect = std::exp(log_after - log_before);
 
     s.p_ref->prepare_move(k);
@@ -200,7 +200,7 @@ TEST(TwoBodyJastrow, RatioGradMatchesRatioAndFreshGradient)
   s.j_cur->evaluate_log(*s.p_cur, g, l);
 
   const int k = 7;
-  const TinyVector<double, 3> rnew = s.p_cur->R[k] + TinyVector<double, 3>{0.2, -0.3, 0.1};
+  const TinyVector<double, 3> rnew = s.p_cur->pos(k) + TinyVector<double, 3>{0.2, -0.3, 0.1};
   s.p_cur->prepare_move(k);
   s.p_cur->make_move(k, rnew);
   const double r1 = s.j_cur->ratio(*s.p_cur, k);
@@ -232,7 +232,7 @@ TEST(TwoBodyJastrow, SweepWithAcceptsKeepsStateConsistentBothImpls)
     const TinyVector<double, 3> dr{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3),
                                    rng.uniform(-0.3, 0.3)};
     // Same proposal stream for both implementations.
-    const auto rnew_ref = s.p_ref->R[k] + dr;
+    const auto rnew_ref = s.p_ref->pos(k) + dr;
     s.p_ref->prepare_move(k);
     s.p_ref->make_move(k, rnew_ref);
     TinyVector<double, 3> gr{};
@@ -299,7 +299,7 @@ TEST(TwoBodyJastrow, BufferRoundTripRestoresState)
   for (int k = 0; k < 4; ++k)
   {
     s.p_cur->prepare_move(k);
-    s.p_cur->make_move(k, s.p_cur->R[k] + TinyVector<double, 3>{0.2, 0.1, -0.1});
+    s.p_cur->make_move(k, s.p_cur->pos(k) + TinyVector<double, 3>{0.2, 0.1, -0.1});
     TinyVector<double, 3> gr{};
     s.j_cur->ratio_grad(*s.p_cur, k, gr);
     s.j_cur->accept_move(*s.p_cur, k);
@@ -373,7 +373,7 @@ double brute_log_j1(const ParticleSet<double>& elec, const ParticleSet<double>& 
   for (int i = 0; i < elec.size(); ++i)
     for (int a = 0; a < ions.size(); ++a)
     {
-      const double r = norm(elec.lattice().min_image(ions.R[a] - elec.R[i]));
+      const double r = norm(elec.lattice().min_image(ions.pos(a) - elec.pos(i)));
       logval -= j.functor(ions.group_id(a)).evaluate(r);
     }
   return logval;
@@ -404,15 +404,15 @@ TEST(OneBodyJastrow, GradientMatchesFiniteDifference)
   auto& p = *s.p_cur;
   for (unsigned d = 0; d < 3; ++d)
   {
-    const auto r0 = p.R[k];
+    const auto r0 = p.pos(k);
     auto rp = r0, rm = r0;
     rp[d] += h;
     rm[d] -= h;
-    p.R[k] = rp;
+    p.set_pos(k, rp);
     const double lp = brute_log_j1(p, *s.ions, *s.j_cur);
-    p.R[k] = rm;
+    p.set_pos(k, rm);
     const double lm = brute_log_j1(p, *s.ions, *s.j_cur);
-    p.R[k] = r0;
+    p.set_pos(k, r0);
     EXPECT_NEAR(g[k][d], (lp - lm) / (2 * h), 1e-5);
   }
 }
@@ -430,9 +430,9 @@ TEST(OneBodyJastrow, SweepAgreesAcrossImplementations)
     const TinyVector<double, 3> dr{rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
                                    rng.uniform(-0.4, 0.4)};
     s.p_ref->prepare_move(k);
-    s.p_ref->make_move(k, s.p_ref->R[k] + dr);
+    s.p_ref->make_move(k, s.p_ref->pos(k) + dr);
     s.p_cur->prepare_move(k);
-    s.p_cur->make_move(k, s.p_cur->R[k] + dr);
+    s.p_cur->make_move(k, s.p_cur->pos(k) + dr);
     TinyVector<double, 3> gr{}, gc{};
     const double rr = s.j_ref->ratio_grad(*s.p_ref, k, gr);
     const double rc = s.j_cur->ratio_grad(*s.p_cur, k, gc);
@@ -470,9 +470,8 @@ TEST(OneBodyJastrow, MixedPrecisionCloseToDouble)
   auto ions_f = make_ions<float>(4, 4, kBox, 20);
   auto elec_f = make_electrons<float>(kNup, kNdn, kBox, 19);
   // Copy exact double positions for apples-to-apples comparison.
-  ions_f->R = s.ions->R;
-  ions_f->Rsoa = ions_f->R;
-  elec_f->R = s.p_cur->R;
+  ions_f->set_positions(s.ions->positions());
+  elec_f->set_positions(s.p_cur->positions());
   const int tf = elec_f->add_table(
       std::make_unique<SoaDistanceTableAB<float>>(elec_f->lattice(), *ions_f, kN));
   elec_f->update();

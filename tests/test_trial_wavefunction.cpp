@@ -62,7 +62,7 @@ TEST(TrialWaveFunction, RatioIsProductOfComponentRatios)
   sys.twf->evaluate_log(*sys.elec);
   const int k = 3;
   sys.elec->prepare_move(k);
-  sys.elec->make_move(k, sys.elec->R[k] + TinyVector<double, 3>{0.2, -0.1, 0.3});
+  sys.elec->make_move(k, sys.elec->pos(k) + TinyVector<double, 3>{0.2, -0.1, 0.3});
   double product = 1.0;
   for (int c = 0; c < sys.twf->num_components(); ++c)
     product *= sys.twf->component(c).ratio(*sys.elec, k);
@@ -76,7 +76,7 @@ TEST(TrialWaveFunction, RatioMatchesLogDifference)
   auto sys = make<double>(true);
   const double log0 = sys.twf->evaluate_log(*sys.elec);
   const int k = 7;
-  const auto rnew = sys.elec->R[k] + TinyVector<double, 3>{0.15, 0.25, -0.2};
+  const auto rnew = sys.elec->pos(k) + TinyVector<double, 3>{0.15, 0.25, -0.2};
 
   sys.elec->prepare_move(k);
   sys.elec->make_move(k, rnew);
@@ -86,7 +86,7 @@ TEST(TrialWaveFunction, RatioMatchesLogDifference)
 
   sys.elec->update();
   auto sys2 = make<double>(true);
-  sys2.elec->R = sys.elec->R;
+  sys2.elec->set_positions(sys.elec->positions());
   sys2.elec->update();
   const double log1 = sys2.twf->evaluate_log(*sys2.elec);
   EXPECT_NEAR(std::abs(ratio), std::exp(log1 - log0), 1e-7 * std::exp(log1 - log0));
@@ -100,7 +100,7 @@ TEST(TrialWaveFunction, RejectLeavesStateUntouched)
   for (int k = 0; k < sys.elec->size(); ++k)
   {
     sys.elec->prepare_move(k);
-    sys.elec->make_move(k, sys.elec->R[k] + TinyVector<double, 3>{0.3, 0.3, 0.3});
+    sys.elec->make_move(k, sys.elec->pos(k) + TinyVector<double, 3>{0.3, 0.3, 0.3});
     TinyVector<double, 3> grad{};
     sys.twf->calc_ratio_grad(*sys.elec, k, grad);
     sys.twf->reject_move(*sys.elec, k);
@@ -120,7 +120,7 @@ TEST(TrialWaveFunction, EvaluateGLMatchesFreshEvaluateAfterSweep)
   for (int k = 0; k < sys.elec->size(); ++k)
   {
     sys.elec->prepare_move(k);
-    sys.elec->make_move(k, sys.elec->R[k] +
+    sys.elec->make_move(k, sys.elec->pos(k) +
                                TinyVector<double, 3>{rng.uniform(-0.3, 0.3),
                                                      rng.uniform(-0.3, 0.3),
                                                      rng.uniform(-0.3, 0.3)});
@@ -161,7 +161,7 @@ TEST(TrialWaveFunction, BufferRoundTripThroughFullStack)
   for (int k = 0; k < 5; ++k)
   {
     sys.elec->prepare_move(k);
-    sys.elec->make_move(k, sys.elec->R[k] + TinyVector<double, 3>{0.2, 0.0, -0.2});
+    sys.elec->make_move(k, sys.elec->pos(k) + TinyVector<double, 3>{0.2, 0.0, -0.2});
     TinyVector<double, 3> grad{};
     sys.twf->calc_ratio_grad(*sys.elec, k, grad);
     sys.twf->accept_move(*sys.elec, k);
@@ -190,7 +190,7 @@ TEST(TrialWaveFunction, ClonesAreIndependent)
 
   // Mutating the clone leaves the original untouched.
   elec2->prepare_move(0);
-  elec2->make_move(0, elec2->R[0] + TinyVector<double, 3>{0.5, 0.5, 0.5});
+  elec2->make_move(0, elec2->pos(0) + TinyVector<double, 3>{0.5, 0.5, 0.5});
   TinyVector<double, 3> grad{};
   twf2->calc_ratio_grad(*elec2, 0, grad);
   twf2->accept_move(*elec2, 0);
@@ -221,7 +221,7 @@ TEST(TrialWaveFunction, DeterminantSignsTracked)
     for (int k = 0; k < sys.elec->size(); ++k)
     {
       sys.elec->prepare_move(k);
-      sys.elec->make_move(k, sys.elec->R[k] +
+      sys.elec->make_move(k, sys.elec->pos(k) +
                                  TinyVector<double, 3>{rng.uniform(-0.4, 0.4),
                                                        rng.uniform(-0.4, 0.4),
                                                        rng.uniform(-0.4, 0.4)});

@@ -18,12 +18,11 @@ namespace qmcxx::testing
 template<typename TR>
 void randomize_positions(ParticleSet<TR>& p, RandomGenerator& rng)
 {
-  for (auto& r : p.R)
+  for (int i = 0; i < p.size(); ++i)
   {
     const TinyVector<double, 3> u{rng.uniform(), rng.uniform(), rng.uniform()};
-    r = p.lattice().to_cart(u);
+    p.set_pos(i, p.lattice().to_cart(u));
   }
-  p.Rsoa = p.R;
 }
 
 /// Two-species electron set (up/down) in a cubic cell.

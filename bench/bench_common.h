@@ -33,7 +33,7 @@ inline DriverConfig default_config(Workload w)
   DriverConfig cfg;
   cfg.tau = 0.02;
   cfg.seed = 20170708;
-  cfg.threads = 1;
+  cfg.num_threads = 1;
   cfg.recompute_period = 8;
   const bool big = (w == Workload::NiO64);
   cfg.num_walkers = big ? 2 : 3;

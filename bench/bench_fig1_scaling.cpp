@@ -9,15 +9,69 @@
 // qmcxx measures the per-walker-step compute time and serialized walker
 // size of each engine on this host and projects the same node counts
 // through a calibrated alpha-beta communication model (DESIGN.md).
+//
+// --real-threads additionally runs a measured on-node thread sweep:
+// NiO-32 crowds execute concurrently on the drivers' ThreadPool for
+// num_threads in {1, 2, 4} and the measured throughputs land in
+// BENCH_fig1_scaling.json next to the modeled curves (records tagged by
+// the "num_threads"/"modeled" metrics). Chains are bitwise-identical
+// across the sweep, so the speedup is pure execution overlap.
+#include <cstring>
+
 #include "bench/bench_common.h"
 #include "instrument/scaling_model.h"
 
 using namespace qmcxx;
 
-int main()
+namespace
 {
+
+void run_real_thread_sweep(bench::BenchJsonWriter& json)
+{
+  std::printf("\nmeasured on-node thread scaling (NiO-32 Current, crowd-per-thread):\n");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"threads", "crowds", "throughput", "speedup"});
+  double base = 0;
+  for (int threads : {1, 2, 4})
+  {
+    EngineRunSpec spec;
+    spec.workload = Workload::NiO32;
+    spec.variant = EngineVariant::Current;
+    spec.dmc = true;
+    spec.driver = bench::default_config(Workload::NiO32);
+    spec.driver.num_walkers = 8; // 4 crowds of 2: enough tasks for 4 threads
+    spec.driver.crowd_size = 2;
+    spec.driver.steps = bench::long_mode() ? 4 : 2;
+    spec.driver.num_threads = threads;
+    const EngineReport rep = run_engine(spec);
+    if (threads == 1)
+      base = rep.result.throughput;
+    const double speedup = rep.result.throughput / base;
+    rows.push_back({std::to_string(threads), "4", fmt(rep.result.throughput, 2) + "/s",
+                    fmt(speedup, 2) + "x"});
+    json.add_engine_record("NiO-32", "Current", rep);
+    json.add_metric("modeled", 0);
+    json.add_metric("num_threads", threads);
+    json.add_metric("num_crowds", 4);
+    json.add_metric("speedup_vs_serial", speedup);
+  }
+  print_table(rows);
+  std::printf("(paper Sec. 5: walker crowds on dedicated threads; ideal slope 1.0/thread\n"
+              " on dedicated cores -- oversubscribed hosts flatten the measured curve)\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  bool real_threads = false;
+  for (int a = 1; a < argc; ++a)
+    if (!std::strcmp(argv[a], "--real-threads"))
+      real_threads = true;
+
   bench::header("Figure 1: NiO-64 strong scaling, Ref vs Current",
                 "Mathuriya et al. SC'17, Fig. 1");
+  bench::BenchJsonWriter json("fig1_scaling");
 
   // Measure on-node quantities.
   const EngineReport ref = bench::run(Workload::NiO64, EngineVariant::Ref);
@@ -26,6 +80,14 @@ int main()
   const double t_cur = 1.0 / cur.result.throughput;
   const std::size_t wb_ref = ref.walker_bytes / std::max(1, ref.result.generations.back().num_walkers);
   const std::size_t wb_cur = cur.walker_bytes / std::max(1, cur.result.generations.back().num_walkers);
+
+  json.add_engine_record("NiO-64", "Ref", ref);
+  json.add_metric("modeled", 1);
+  json.add_metric("s_per_walker_step", t_ref);
+  json.add_engine_record("NiO-64", "Current", cur);
+  json.add_metric("modeled", 1);
+  json.add_metric("s_per_walker_step", t_cur);
+  json.add_metric("on_node_speedup", t_ref / t_cur);
 
   std::printf("host measurements (NiO-64):\n");
   std::printf("  Ref:     %.4f s/walker-step, walker message %s\n", t_ref,
@@ -90,5 +152,9 @@ int main()
   std::printf("\npaper shape check: Ref and Current both scale near-ideally\n"
               "(paper: 90%% on KNL, 98%% on BDW at the largest counts); the gap\n"
               "between the Current and Ref series is the on-node speedup.\n");
+
+  if (real_threads)
+    run_real_thread_sweep(json);
+  json.write();
   return 0;
 }

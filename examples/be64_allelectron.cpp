@@ -34,7 +34,7 @@ int main(int argc, char** argv)
     spec.dmc = true;
     spec.driver.steps = steps;
     spec.driver.num_walkers = 3;
-    spec.driver.threads = 1;
+    spec.driver.num_threads = 1;
     const EngineReport rep = run_engine(spec);
     std::printf("\n%s: E = %.3f Ha, %.2f samples/s, footprint %s\n", to_string(v),
                 rep.result.mean_energy, rep.result.throughput,

@@ -38,7 +38,7 @@ int main(int argc, char** argv)
     spec.dmc = false;
     spec.driver.num_walkers = 2;
     spec.driver.steps = 1;
-    spec.driver.threads = 1;
+    spec.driver.num_threads = 1;
     EngineReport probe = run_engine(spec);
     const double step_cost = probe.result.seconds;
     spec.driver.steps = std::max(1, static_cast<int>(budget_s / std::max(1e-3, step_cost)));

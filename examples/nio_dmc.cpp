@@ -25,7 +25,7 @@ int main(int argc, char** argv)
   spec.driver.tau = 0.02;
   spec.driver.steps = 5;
   spec.driver.num_walkers = 4;
-  spec.driver.threads = 1;
+  spec.driver.num_threads = 1;
 
   for (int a = 1; a < argc; ++a)
   {
@@ -45,7 +45,7 @@ int main(int argc, char** argv)
     else if (a + 1 < argc && !std::strcmp(argv[a], "--tau"))
       spec.driver.tau = std::atof(argv[++a]);
     else if (a + 1 < argc && !std::strcmp(argv[a], "--threads"))
-      spec.driver.threads = std::atoi(argv[++a]);
+      spec.driver.num_threads = std::atoi(argv[++a]);
   }
 
   const WorkloadInfo& info = workload_info(spec.workload);

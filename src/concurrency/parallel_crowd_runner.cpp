@@ -1,0 +1,38 @@
+#include "concurrency/parallel_crowd_runner.h"
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "instrument/timer.h"
+
+namespace qmcxx
+{
+
+int ParallelCrowdRunner::resolve_num_threads(int requested)
+{
+  if (requested < 0)
+    throw std::invalid_argument(
+        "ParallelCrowdRunner: num_threads must be >= 0 (0 = hardware), got " +
+        std::to_string(requested));
+  if (requested > 0)
+    return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelCrowdRunner::ParallelCrowdRunner(int num_threads)
+    : pool_(std::make_unique<ThreadPool>(resolve_num_threads(num_threads)))
+{}
+
+ParallelCrowdRunner::~ParallelCrowdRunner() = default;
+
+int ParallelCrowdRunner::num_threads() const { return pool_->num_threads(); }
+
+void ParallelCrowdRunner::run_generation(int num_crowds, const ThreadPool::TaskFn& fn)
+{
+  pool_->parallel_for(num_crowds, fn,
+                      [](int /*thread_index*/) { TimerRegistry::instance().flush_local(); });
+}
+
+} // namespace qmcxx

@@ -1,0 +1,75 @@
+// Deterministic RNG stream derivation for parallel crowd execution.
+//
+// Every concurrent consumer (walker slot, crowd, branching clone) gets
+// its own RandomGenerator seeded from one master seed at a distinct
+// SplitMix64 jump offset: stream i's seed is the i-th output of the
+// SplitMix64 sequence started at the master seed. SplitMix64 is an
+// equidistributed bijection over 2^64 with an odd increment (the golden
+// gamma), so all 2^64 stream seeds are distinct and decorrelated from
+// one another -- feeding raw xoshiro outputs (or `seed + i`) straight
+// back into the seeding path would leave streams related by the very
+// structure the expansion is meant to destroy.
+//
+// Derivation is pure arithmetic on (master, stream_id): any thread can
+// recompute any stream's seed without touching shared state, which is
+// what makes threaded runs bitwise-identical to serial ones at a fixed
+// crowd decomposition.
+#ifndef QMCXX_CONCURRENCY_RNG_STREAMS_H
+#define QMCXX_CONCURRENCY_RNG_STREAMS_H
+
+#include <cstdint>
+
+#include "numerics/rng.h"
+
+namespace qmcxx
+{
+
+/// SplitMix64 finalizer (Steele, Lea & Flood): bijective avalanche mix.
+inline std::uint64_t splitmix64_mix(std::uint64_t z)
+{
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// The golden-gamma increment of the SplitMix64 sequence.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ull;
+
+/// Seed of stream `stream_id`: the SplitMix64 output at jump offset
+/// `stream_id` from `master` (offset 0 is the first output, so even
+/// stream 0 is mixed away from the raw master seed).
+inline std::uint64_t stream_seed(std::uint64_t master, std::uint64_t stream_id)
+{
+  return splitmix64_mix(master + (stream_id + 1) * kSplitMix64Gamma);
+}
+
+/// Ready-made generator on stream `stream_id` of `master`.
+inline RandomGenerator make_stream(std::uint64_t master, std::uint64_t stream_id)
+{
+  return RandomGenerator(stream_seed(master, stream_id));
+}
+
+/// Stream-id salts partitioning the id space by consumer kind, so a
+/// walker stream can never collide with a crowd or branching stream
+/// derived from the same master seed.
+enum class StreamKind : std::uint64_t
+{
+  Walker = 0x77616c6b00000000ull, ///< per-walker proposal streams
+  Crowd = 0x63726f7700000000ull,  ///< per-crowd streams (crowd-local decisions)
+  Branch = 0x6272616e00000000ull, ///< the serial branching/cloning stream
+};
+
+inline std::uint64_t stream_seed(std::uint64_t master, StreamKind kind, std::uint64_t stream_id)
+{
+  return stream_seed(master ^ static_cast<std::uint64_t>(kind), stream_id);
+}
+
+inline RandomGenerator make_stream(std::uint64_t master, StreamKind kind,
+                                   std::uint64_t stream_id)
+{
+  return RandomGenerator(stream_seed(master, kind, stream_id));
+}
+
+} // namespace qmcxx
+
+#endif

@@ -1,0 +1,147 @@
+#include "concurrency/thread_pool.h"
+
+namespace qmcxx
+{
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads > 1 ? num_threads : 1)
+{
+  workers_.reserve(num_threads_ - 1);
+  for (int t = 1; t < num_threads_; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_)
+    w.join();
+}
+
+void ThreadPool::run_tasks(int thread_index)
+{
+  // Dynamic self-scheduling: claim the next unclaimed task index. Task
+  // results must be keyed by the task index, so the claim order (which
+  // is timing-dependent) never leaks into the output.
+  for (int task = next_task_.fetch_add(1, std::memory_order_relaxed); task < num_tasks_;
+       task = next_task_.fetch_add(1, std::memory_order_relaxed))
+  {
+    try
+    {
+      (*task_fn_)(task, thread_index);
+    }
+    catch (...)
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_)
+        first_error_ = std::current_exception();
+    }
+  }
+  if (epilogue_fn_ && *epilogue_fn_)
+  {
+    try
+    {
+      (*epilogue_fn_)(thread_index);
+    }
+    catch (...)
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_)
+        first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int thread_index)
+{
+  std::uint64_t seen_generation = 0;
+  for (;;)
+  {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_)
+        return;
+      seen_generation = generation_;
+    }
+    run_tasks(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(int num_tasks, const TaskFn& fn, const EpilogueFn& epilogue)
+{
+  if (num_tasks <= 0)
+    return;
+  if (num_threads_ == 1)
+  {
+    // The legacy serial path: plain loop, no atomics, no cv barrier --
+    // but the same exception contract as the threaded path (every task
+    // runs, the epilogue runs, the first error rethrows afterwards), so
+    // failure behavior does not depend on the thread count.
+    std::exception_ptr error;
+    for (int task = 0; task < num_tasks; ++task)
+    {
+      try
+      {
+        fn(task, 0);
+      }
+      catch (...)
+      {
+        if (!error)
+          error = std::current_exception();
+      }
+    }
+    if (epilogue)
+    {
+      try
+      {
+        epilogue(0);
+      }
+      catch (...)
+      {
+        if (!error)
+          error = std::current_exception();
+      }
+    }
+    if (error)
+      std::rethrow_exception(error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_fn_ = &fn;
+    epilogue_fn_ = &epilogue;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is worker 0: it drains tasks alongside the pool instead
+  // of blocking idle, so num_threads means exactly that many threads.
+  run_tasks(0);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_done_ == num_threads_ - 1; });
+    task_fn_ = nullptr;
+    epilogue_fn_ = nullptr;
+    error = first_error_;
+  }
+  if (error)
+    std::rethrow_exception(error);
+}
+
+} // namespace qmcxx

@@ -1,0 +1,81 @@
+// A small work-stealing-free thread pool for crowd-per-thread execution.
+//
+// The drivers' unit of parallel work is one crowd-generation sweep:
+// tasks are coarse (milliseconds to seconds), counts are small (the
+// number of crowds), and every generation ends at a hard barrier
+// (population reduction, DMC branching). That shape wants the simplest
+// possible pool: N persistent workers, one shared atomic task cursor
+// (dynamic self-scheduling, no per-thread deques, no stealing), and a
+// blocking parallel_for that re-uses the caller as worker 0.
+//
+// Determinism contract: parallel_for makes no promise about which
+// thread runs which task -- callers must keep all task state keyed by
+// task index (not thread index) and reduce in fixed task order after
+// the barrier. Thread index is exposed only to select per-thread
+// *scratch* (crowd clones, timer slots), never to address results.
+#ifndef QMCXX_CONCURRENCY_THREAD_POOL_H
+#define QMCXX_CONCURRENCY_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmcxx
+{
+
+class ThreadPool
+{
+public:
+  /// fn(task_index, thread_index): thread_index in [0, num_threads).
+  using TaskFn = std::function<void(int, int)>;
+  /// Runs on every participating thread after its last task of a
+  /// parallel_for, before the barrier releases (per-thread merge hook).
+  using EpilogueFn = std::function<void(int)>;
+
+  /// `num_threads` <= 1 creates no workers: parallel_for then runs
+  /// inline on the caller, which *is* the legacy serial path (not an
+  /// emulation of it).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Execute fn for every task in [0, num_tasks); blocks until all are
+  /// done (the generation barrier). The caller participates as thread 0;
+  /// workers claim tasks from a shared atomic cursor. The first
+  /// exception thrown by any task is rethrown here after the barrier.
+  void parallel_for(int num_tasks, const TaskFn& fn, const EpilogueFn& epilogue = {});
+
+private:
+  void worker_loop(int thread_index);
+  void run_tasks(int thread_index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // One outstanding parallel_for at a time; generation_ ticks to wake
+  // the parked workers for the next one.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  const TaskFn* task_fn_ = nullptr;
+  const EpilogueFn* epilogue_fn_ = nullptr;
+  int num_tasks_ = 0;
+  std::atomic<int> next_task_{0};
+  int workers_done_ = 0;
+  std::exception_ptr first_error_;
+};
+
+} // namespace qmcxx
+
+#endif

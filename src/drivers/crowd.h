@@ -17,6 +17,17 @@
 // churn of the scalar path as the unit of staging, and is the seam
 // where device-resident crowds (GPU offload, async population
 // sharding) attach later.
+//
+// Threading contract (crowd-per-thread execution): crowds of one
+// generation run concurrently, so everything a crowd touches during a
+// sweep must be crowd-private -- the cloned ParticleSet/TWF/Hamiltonian
+// slots, the MWResourceSet scratch, the per-sweep workspace vectors
+// below, and the RNG streams of its population slice (one stream per
+// walker, derived from the master seed at a SplitMix64 jump offset;
+// see concurrency/rng_streams.h). The only state legitimately shared
+// across crowds is immutable after setup: the B-spline orbital tables
+// behind the cloned SPOSets, lattice/species data, and the driver
+// config. Never share mw scratch or a walker/RNG slot across crowds.
 #ifndef QMCXX_DRIVERS_CROWD_H
 #define QMCXX_DRIVERS_CROWD_H
 

@@ -2,12 +2,22 @@
 // instantiation units vmc.cpp / dmc.cpp).
 //
 // Generations iterate crowds, not single walkers: the population is cut
-// into slices of crowd_size, each slice is staged into a per-thread
-// Crowd (acquire), all walkers in the crowd move every electron in
-// lockstep through the batched mw_* API, and the slice is streamed back
+// into slices of crowd_size, each slice is staged into a Crowd
+// (acquire), all walkers in the crowd move every electron in lockstep
+// through the batched mw_* API, and the slice is streamed back
 // (release). crowd_size == 1 takes the legacy per-walker sweep, which
 // produces bit-identical chains because each walker's RNG stream is
 // private to it in both paths.
+//
+// Crowds of one generation execute concurrently on the ParallelCrowdRunner
+// (crowd-per-thread). Determinism across thread counts rests on three
+// invariants: (1) every random draw of the chain comes from a stream
+// owned by exactly one walker (derived from the master seed at a
+// SplitMix64 jump offset, never shared across crowds), (2) per-crowd
+// results are keyed by crowd index, never by thread index, and (3) the
+// population reduction (energy/weight statistics) runs serially at the
+// generation barrier in fixed walker order using Welford accumulation.
+// DMC branching stays a serial barrier step on its own stream.
 #ifndef QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 #define QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 
@@ -16,8 +26,7 @@
 #include <stdexcept>
 #include <string>
 
-#include <omp.h>
-
+#include "concurrency/rng_streams.h"
 #include "drivers/qmc_drivers.h"
 
 namespace qmcxx
@@ -49,7 +58,40 @@ inline void validate_config(const DriverConfig& c)
   if (c.crowd_size <= 0)
     throw std::invalid_argument("DriverConfig: crowd_size must be > 0, got " +
                                 std::to_string(c.crowd_size));
+  if (c.num_threads < 0)
+    throw std::invalid_argument("DriverConfig: num_threads must be >= 0 (0 = hardware), got " +
+                                std::to_string(c.num_threads));
 }
+
+/// Weighted Welford/West accumulator for the population statistics.
+/// The naive e2_sum/w_sum - mean^2 form cancels catastrophically for
+/// tightly clustered energies (|E| >> spread) and can return a negative
+/// variance; here every update term w*delta*(x - new_mean) is
+/// provably >= 0 ((x - old_mean) and (x - new_mean) share a sign), so
+/// m2 -- and the variance -- never goes negative even in floating point.
+struct WeightedWelford
+{
+  double w_sum = 0.0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double w, double x)
+  {
+    // Zero-weight samples contribute nothing; skipping them (instead of
+    // dividing by a still-zero w_sum when they lead) keeps the mean
+    // finite when e.g. a DMC branch weight underflows to exactly 0.
+    if (!(w > 0.0))
+      return;
+    w_sum += w;
+    const double delta = x - mean;
+    mean += delta * (w / w_sum);
+    m2 += w * delta * (x - mean);
+  }
+
+  /// Population (biased) variance, matching the paper's per-generation
+  /// sigma^2 bookkeeping.
+  double variance() const { return w_sum > 0.0 ? m2 / w_sum : 0.0; }
+};
 
 } // namespace detail
 
@@ -57,11 +99,10 @@ template<typename TR>
 QMCDriver<TR>::QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hamiltonian<TR>& ham,
                          DriverConfig config)
     : elec_proto_(elec), twf_proto_(twf), ham_proto_(ham), config_(config),
-      branch_rng_(config.seed ^ 0xb1a2c3d4e5f60718ull)
+      branch_rng_(make_stream(config.seed, StreamKind::Branch, 0))
 {
   detail::validate_config(config_);
-  if (config_.threads > 0)
-    omp_set_num_threads(config_.threads);
+  runner_ = std::make_unique<ParallelCrowdRunner>(config_.num_threads);
   make_crowd_contexts();
 }
 
@@ -71,9 +112,8 @@ QMCDriver<TR>::~QMCDriver() = default;
 template<typename TR>
 void QMCDriver<TR>::make_crowd_contexts()
 {
-  const int nthreads = config_.threads > 0 ? config_.threads : omp_get_max_threads();
   contexts_.clear();
-  for (int t = 0; t < nthreads; ++t)
+  for (int t = 0; t < runner_->num_threads(); ++t)
   {
     CrowdContext<TR> ctx;
     ctx.crowd =
@@ -97,7 +137,12 @@ void QMCDriver<TR>::initialize_population()
     // Ids start at 1: parent_id == 0 is the founder sentinel, so no
     // walker may actually own id 0.
     w->id = static_cast<std::uint64_t>(iw) + 1;
-    RandomGenerator rng(config_.seed + 7919ull * static_cast<std::uint64_t>(iw));
+    // One private stream per walker slot, derived from the master seed
+    // at a SplitMix64 jump offset (concurrency/rng_streams.h). A crowd
+    // owns the streams of its population slice and nothing else, so no
+    // stream is ever touched by two threads.
+    RandomGenerator rng =
+        make_stream(config_.seed, StreamKind::Walker, static_cast<std::uint64_t>(iw));
     // Jittered copy of the prototype configuration.
     for (int i = 0; i < elec_proto_.size(); ++i)
       w->R[i] = elec_proto_.pos(i) +
@@ -271,57 +316,57 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
 }
 
 template<typename TR>
+std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_crowds(
+    bool recompute)
+{
+  const int nw = pop_.size();
+  const int cs = config_.crowd_size;
+  const int ncrowds = (nw + cs - 1) / cs;
+  std::vector<SweepOutcome> outcomes(ncrowds);
+  // Crowd ic always sweeps the same slice no matter which thread claims
+  // it, and writes only slice-owned state plus its own outcomes slot:
+  // the claim order cannot affect any result.
+  runner_->run_generation(ncrowds, [&](int ic, int thread_index) {
+    CrowdContext<TR>& ctx = contexts_[thread_index];
+    const int lo = ic * cs;
+    const int count = nw - lo < cs ? nw - lo : cs;
+    outcomes[ic] = cs <= 1
+        // Legacy per-walker path (the crowd_size == 1 degenerate case).
+        ? sweep_walker(ctx, *pop_.walkers[lo], pop_.rngs[lo], recompute)
+        : sweep_crowd(ctx, lo, count, recompute);
+  });
+  return outcomes;
+}
+
+template<typename TR>
 RunResult QMCDriver<TR>::run_vmc()
 {
   RunResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  const int cs = config_.crowd_size;
   for (int gen = 0; gen < config_.steps; ++gen)
   {
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
-    double e_sum = 0.0, e2_sum = 0.0;
-    std::int64_t accepted = 0, proposed = 0;
     const int nw = pop_.size();
-    if (cs <= 1)
+    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute);
+
+    // Serial barrier-side reduction in fixed walker/crowd order: the
+    // statistics are bitwise-identical for every thread count.
+    std::int64_t accepted = 0, proposed = 0;
+    for (const SweepOutcome& out : outcomes)
     {
-      // Legacy per-walker path (the crowd_size == 1 degenerate case).
-#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
-      for (int iw = 0; iw < nw; ++iw)
-      {
-        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
-        const SweepOutcome out = sweep_walker(ctx, *pop_.walkers[iw], pop_.rngs[iw], recompute);
-        e_sum += out.local_energy;
-        e2_sum += out.local_energy * out.local_energy;
-        accepted += out.accepted;
-        proposed += out.proposed;
-      }
+      accepted += out.accepted;
+      proposed += out.proposed;
     }
-    else
-    {
-      const int ncrowds = (nw + cs - 1) / cs;
-#pragma omp parallel for schedule(dynamic) reduction(+ : e_sum, e2_sum, accepted, proposed)
-      for (int ic = 0; ic < ncrowds; ++ic)
-      {
-        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
-        const int lo = ic * cs;
-        const int count = nw - lo < cs ? nw - lo : cs;
-        const SweepOutcome out = sweep_crowd(ctx, lo, count, recompute);
-        accepted += out.accepted;
-        proposed += out.proposed;
-        for (int iw = lo; iw < lo + count; ++iw)
-        {
-          const Walker& w = *pop_.walkers[iw];
-          e_sum += w.local_energy;
-          e2_sum += w.local_energy * w.local_energy;
-        }
-      }
-    }
+    detail::WeightedWelford acc;
+    for (const auto& w : pop_.walkers)
+      acc.add(1.0, w->local_energy);
+
     GenerationStats stats;
     stats.num_walkers = nw;
     stats.weight = nw;
-    stats.energy = e_sum / nw;
-    stats.variance = e2_sum / nw - stats.energy * stats.energy;
+    stats.energy = acc.mean;
+    stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
     result.generations.push_back(stats);
     result.total_samples += nw;
@@ -359,68 +404,39 @@ RunResult QMCDriver<TR>::run_dmc()
   trial_energy_ = e0 / pop_.size();
 
   const double tau = config_.tau;
-  const int cs = config_.crowd_size;
   const auto t0 = std::chrono::steady_clock::now();
   for (int gen = 0; gen < config_.steps; ++gen)
   {
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
-    double ew_sum = 0.0, e2w_sum = 0.0, w_sum = 0.0;
-    std::int64_t accepted = 0, proposed = 0;
     const int nw = pop_.size();
-    if (cs <= 1)
+    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute);
+
+    // Serial barrier-side steps, all in fixed walker/crowd order:
+    // reweight (Alg. 1 L13, symmetric local-energy average), weighted
+    // Welford statistics, then branching below.
+    std::int64_t accepted = 0, proposed = 0;
+    for (const SweepOutcome& out : outcomes)
     {
-      // Legacy per-walker path (the crowd_size == 1 degenerate case).
-#pragma omp parallel for schedule(dynamic) \
-    reduction(+ : ew_sum, e2w_sum, w_sum, accepted, proposed)
-      for (int iw = 0; iw < nw; ++iw)
-      {
-        Walker& w = *pop_.walkers[iw];
-        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
-        const SweepOutcome out = sweep_walker(ctx, w, pop_.rngs[iw], recompute);
-        // Reweight (Alg. 1 L13): symmetric local-energy average.
-        const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
-        double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
-        branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
-        w.weight *= branch_weight;
-        ew_sum += w.weight * w.local_energy;
-        e2w_sum += w.weight * w.local_energy * w.local_energy;
-        w_sum += w.weight;
-        accepted += out.accepted;
-        proposed += out.proposed;
-      }
+      accepted += out.accepted;
+      proposed += out.proposed;
     }
-    else
+    detail::WeightedWelford acc;
+    for (const auto& wp : pop_.walkers)
     {
-      const int ncrowds = (nw + cs - 1) / cs;
-#pragma omp parallel for schedule(dynamic) \
-    reduction(+ : ew_sum, e2w_sum, w_sum, accepted, proposed)
-      for (int ic = 0; ic < ncrowds; ++ic)
-      {
-        CrowdContext<TR>& ctx = contexts_[omp_get_thread_num()];
-        const int lo = ic * cs;
-        const int count = nw - lo < cs ? nw - lo : cs;
-        const SweepOutcome out = sweep_crowd(ctx, lo, count, recompute);
-        accepted += out.accepted;
-        proposed += out.proposed;
-        for (int iw = lo; iw < lo + count; ++iw)
-        {
-          Walker& w = *pop_.walkers[iw];
-          const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
-          double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
-          branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
-          w.weight *= branch_weight;
-          ew_sum += w.weight * w.local_energy;
-          e2w_sum += w.weight * w.local_energy * w.local_energy;
-          w_sum += w.weight;
-        }
-      }
+      Walker& w = *wp;
+      const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
+      double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
+      branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
+      w.weight *= branch_weight;
+      acc.add(w.weight, w.local_energy);
     }
+
     GenerationStats stats;
     stats.num_walkers = nw;
-    stats.weight = w_sum;
-    stats.energy = ew_sum / w_sum;
-    stats.variance = e2w_sum / w_sum - stats.energy * stats.energy;
+    stats.weight = acc.w_sum;
+    stats.energy = acc.mean;
+    stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
     result.total_samples += nw;
 

@@ -1,11 +1,15 @@
 // VMC and DMC drivers implementing the paper's Alg. 1.
 //
 // Thread-level structure mirrors Fig. 4: per-thread ParticleSet /
-// TrialWaveFunction / Hamiltonian clones process blocks of walkers
-// inside an OpenMP loop; loadWalker / storeWalker plus the anonymous
-// buffer move walker state in and out of the compute objects. The DMC
-// driver adds drift-diffusion importance sampling, weight accumulation,
-// birth/death branching and trial-energy feedback (Alg. 1 L11-L14).
+// TrialWaveFunction / Hamiltonian clones process crowds of walkers on a
+// dedicated ThreadPool (crowd-per-thread, Sec. 5); loadWalker /
+// storeWalker plus the anonymous buffer move walker state in and out of
+// the compute objects. Each generation ends at a barrier where the
+// population statistics reduce in fixed walker order, so chains are
+// bitwise-identical for every thread count at a fixed crowd
+// decomposition. The DMC driver adds drift-diffusion importance
+// sampling, weight accumulation, serial birth/death branching and
+// trial-energy feedback (Alg. 1 L11-L14).
 #ifndef QMCXX_DRIVERS_QMC_DRIVERS_H
 #define QMCXX_DRIVERS_QMC_DRIVERS_H
 
@@ -13,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "concurrency/parallel_crowd_runner.h"
 #include "drivers/crowd.h"
 #include "hamiltonian/hamiltonian.h"
 #include "numerics/rng.h"
@@ -32,7 +37,12 @@ struct DriverConfig
   std::uint64_t seed = 20170708;
   int recompute_period = 10;   ///< from-scratch rebuild cadence (Sec. 7.2)
   double feedback = 0.1;       ///< trial-energy population feedback
-  int threads = 0;             ///< OpenMP threads; 0 = runtime default
+  /// Crowd-execution threads: each crowd of a generation runs on one
+  /// pool thread. 0 = hardware thread count, 1 = the legacy serial
+  /// path (no pool threads). Chains are bitwise-identical for every
+  /// value at fixed crowd_size / population. Negative values are
+  /// rejected at construction.
+  int num_threads = 0;
   bool use_drift = true;       ///< importance-sampled proposals
   /// Walkers evaluated together through the batched mw_* path; 1 selects
   /// the legacy per-walker loop. Identical seeds give identical chains
@@ -96,7 +106,7 @@ public:
   /// The prototype objects are cloned per thread; the prototype electron
   /// set provides the initial configuration. Throws std::invalid_argument
   /// on nonsensical configs (tau <= 0, num_walkers <= 0, steps < 0,
-  /// crowd_size <= 0).
+  /// crowd_size <= 0, num_threads < 0).
   QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hamiltonian<TR>& ham,
             DriverConfig config);
   ~QMCDriver();
@@ -134,6 +144,12 @@ private:
   /// updated in place; returns the acceptance counters.
   SweepOutcome sweep_crowd(CrowdContext<TR>& ctx, int first, int n, bool recompute);
 
+  /// Run one generation's crowds on the pool: crowd ic sweeps the
+  /// population slice [ic*crowd_size, ...) on whichever thread claims
+  /// it, with all per-crowd results keyed by ic. Returns per-crowd
+  /// outcomes in crowd order (the fixed reduction order).
+  std::vector<SweepOutcome> run_generation_crowds(bool recompute);
+
   void make_crowd_contexts();
 
   ParticleSet<TR>& elec_proto_;
@@ -144,6 +160,7 @@ private:
   WalkerPopulation pop_;
   double trial_energy_ = 0.0;
   RandomGenerator branch_rng_;
+  std::unique_ptr<ParallelCrowdRunner> runner_;
 };
 
 /// Branching / population control (Alg. 1 L13: reweight and branch).

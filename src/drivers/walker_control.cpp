@@ -2,6 +2,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "concurrency/rng_streams.h"
 #include "drivers/qmc_drivers.h"
 
 namespace qmcxx
@@ -10,25 +11,17 @@ namespace qmcxx
 namespace
 {
 
-/// SplitMix64 finalizer: decorrelates clone seeds drawn from the branch
-/// stream from the stream itself (raw xoshiro outputs fed straight back
-/// in as seeds would re-enter the seeding path unmixed).
-std::uint64_t mix_seed(std::uint64_t z)
-{
-  z += 0x9e3779b97f4a7c15ull;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 /// Deep-copy a walker as a branching child: fresh decorrelated RNG
 /// stream (never the parent's -- clones sharing a stream would walk in
-/// lockstep forever), fresh identity, recorded lineage.
+/// lockstep forever), fresh identity, recorded lineage. The clone seed
+/// is the stream-0 SplitMix64 derivation of a branch-stream draw: raw
+/// xoshiro outputs fed straight back in as seeds would re-enter the
+/// seeding path unmixed.
 std::unique_ptr<Walker> clone_walker(const Walker& parent, RandomGenerator& branch_rng,
                                      std::vector<RandomGenerator>& rngs_out)
 {
   auto child = std::make_unique<Walker>(parent);
-  const std::uint64_t seed = mix_seed(branch_rng.next());
+  const std::uint64_t seed = stream_seed(branch_rng.next(), 0);
   child->id = seed ? seed : 1; // id 0 is the founder sentinel in parent_id
   child->parent_id = parent.id;
   rngs_out.emplace_back(seed);

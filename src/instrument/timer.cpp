@@ -26,43 +26,43 @@ TimerRegistry& TimerRegistry::instance()
   return registry;
 }
 
-TimerRegistry::ThreadSlot& TimerRegistry::local_slot()
+KernelTotals& TimerRegistry::local_totals()
 {
-  thread_local ThreadSlot* slot = nullptr;
-  if (!slot)
-  {
-    slot = new ThreadSlot(); // owned by the registry's slot list
-    std::lock_guard<std::mutex> lock(mutex_);
-    slots_.push_back(slot);
-  }
-  return *slot;
+  thread_local KernelTotals totals;
+  return totals;
 }
 
 void TimerRegistry::add(Kernel k, double seconds)
 {
-  ThreadSlot& slot = local_slot();
-  slot.totals.seconds[static_cast<int>(k)] += seconds;
-  slot.totals.calls[static_cast<int>(k)] += 1;
+  KernelTotals& totals = local_totals();
+  totals.seconds[static_cast<int>(k)] += seconds;
+  totals.calls[static_cast<int>(k)] += 1;
 }
 
-KernelTotals TimerRegistry::snapshot() const
+void TimerRegistry::flush_local()
 {
+  KernelTotals& totals = local_totals();
   std::lock_guard<std::mutex> lock(mutex_);
-  KernelTotals merged;
-  for (const ThreadSlot* slot : slots_)
-    for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i)
-    {
-      merged.seconds[i] += slot->totals.seconds[i];
-      merged.calls[i] += slot->totals.calls[i];
-    }
-  return merged;
+  for (int i = 0; i < static_cast<int>(Kernel::kCount); ++i)
+  {
+    merged_.seconds[i] += totals.seconds[i];
+    merged_.calls[i] += totals.calls[i];
+  }
+  totals = KernelTotals{};
+}
+
+KernelTotals TimerRegistry::snapshot()
+{
+  flush_local();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
 }
 
 void TimerRegistry::reset()
 {
+  local_totals() = KernelTotals{};
   std::lock_guard<std::mutex> lock(mutex_);
-  for (ThreadSlot* slot : slots_)
-    slot->totals = KernelTotals{};
+  merged_ = KernelTotals{};
 }
 
 } // namespace qmcxx

@@ -3,17 +3,19 @@
 // The paper's analysis (Fig. 2, Fig. 7) decomposes runtime into the
 // kernels DistTable, J1, J2, Bspline-v, Bspline-vgh, SPO-vgl, DetUpdate
 // and Other. qmcxx instruments exactly those buckets with low-overhead
-// scoped timers; per-thread accumulation avoids contention in the
-// OpenMP walker loop and the registry merges on report.
+// scoped timers. Accumulation is strictly thread-local (no shared
+// counters on the hot path, so crowd threads can never tear
+// seconds[]/calls[]); each thread publishes its totals into the global
+// merge only at explicit flush points -- the crowd runner flushes every
+// participating thread at the generation barrier, and snapshot()
+// flushes the calling thread.
 #ifndef QMCXX_INSTRUMENT_TIMER_H
 #define QMCXX_INSTRUMENT_TIMER_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <mutex>
-#include <string>
-#include <vector>
 
 namespace qmcxx
 {
@@ -49,31 +51,41 @@ struct KernelTotals
   }
 };
 
-/// Process-wide registry; accumulation is thread-local, reads merge.
+/// Process-wide registry. add() touches only the calling thread's
+/// private totals; flush_local() publishes them into the global merge
+/// under the mutex. snapshot()/reset() are barrier-side operations: call
+/// them only when no other thread holds unflushed totals (the crowd
+/// runner guarantees this by flushing every thread at each generation
+/// barrier).
 class TimerRegistry
 {
 public:
   static TimerRegistry& instance();
 
   /// Enable/disable globally (disabled timers cost one branch).
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Thread-local accumulation: no locks, no shared writes.
   void add(Kernel k, double seconds);
-  KernelTotals snapshot() const;
+
+  /// Merge the calling thread's totals into the global record and zero
+  /// them. Every pool thread calls this at the generation barrier.
+  void flush_local();
+
+  /// Flush the calling thread, then return the merged totals.
+  KernelTotals snapshot();
+
+  /// Clear the merged totals and the calling thread's local totals.
   void reset();
 
 private:
   TimerRegistry() = default;
-  struct ThreadSlot
-  {
-    KernelTotals totals;
-  };
-  ThreadSlot& local_slot();
+  static KernelTotals& local_totals();
 
-  bool enabled_ = true;
+  std::atomic<bool> enabled_{true};
   mutable std::mutex mutex_;
-  std::vector<ThreadSlot*> slots_;
+  KernelTotals merged_;
 };
 
 /// RAII scope: accumulates wall time into a kernel bucket.

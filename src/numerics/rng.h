@@ -83,8 +83,28 @@ public:
     return {gaussian(), gaussian(), gaussian()};
   }
 
-  /// Integer in [0, n).
-  std::uint64_t range(std::uint64_t n) { return next() % n; }
+  /// Integer in [0, n), unbiased (Lemire's multiply-shift rejection).
+  /// The old `next() % n` mapped the 2^64 outputs onto n buckets with
+  /// the first `2^64 mod n` buckets one output too heavy; here draws
+  /// landing in the short low-product window are rejected instead, so
+  /// every bucket receives exactly floor(2^64/n) or-rejected outputs.
+  std::uint64_t range(std::uint64_t n)
+  {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n)
+    {
+      const std::uint64_t threshold = (0 - n) % n; // 2^64 mod n
+      while (lo < threshold)
+      {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
 private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -49,7 +49,7 @@ DriverConfig crowd_config(int crowd_size, int steps = 4, int walkers = 4)
   cfg.num_walkers = walkers;
   cfg.seed = 20170708;
   cfg.recompute_period = 3;
-  cfg.threads = 1;
+  cfg.num_threads = 1;
   cfg.crowd_size = crowd_size;
   return cfg;
 }
@@ -102,6 +102,31 @@ void expect_traces_match(const RunResult& a, const RunResult& b, double rel_tol)
         << "generation " << g;
   }
   EXPECT_NEAR(a.mean_energy, b.mean_energy, rel_tol * std::abs(a.mean_energy) + rel_tol);
+}
+
+/// Bitwise identity of two chains: every per-generation statistic,
+/// including the branching-sensitive ones, compared with exact ==.
+void expect_traces_bitwise(const RunResult& a, const RunResult& b)
+{
+  ASSERT_EQ(a.generations.size(), b.generations.size());
+  for (std::size_t g = 0; g < a.generations.size(); ++g)
+  {
+    EXPECT_EQ(a.generations[g].energy, b.generations[g].energy) << "generation " << g;
+    EXPECT_EQ(a.generations[g].variance, b.generations[g].variance) << "generation " << g;
+    EXPECT_EQ(a.generations[g].weight, b.generations[g].weight) << "generation " << g;
+    EXPECT_EQ(a.generations[g].num_walkers, b.generations[g].num_walkers) << "generation " << g;
+    EXPECT_EQ(a.generations[g].acceptance, b.generations[g].acceptance) << "generation " << g;
+    EXPECT_EQ(a.generations[g].trial_energy, b.generations[g].trial_energy)
+        << "generation " << g;
+  }
+  EXPECT_EQ(a.mean_energy, b.mean_energy);
+  EXPECT_EQ(a.mean_variance, b.mean_variance);
+}
+
+void expect_nonnegative_variance(const RunResult& r)
+{
+  for (std::size_t g = 0; g < r.generations.size(); ++g)
+    EXPECT_GE(r.generations[g].variance, 0.0) << "generation " << g;
 }
 
 } // namespace
@@ -248,4 +273,69 @@ TEST(CrowdResources, PerComponentResourcesAreAllocated)
     if (r)
       ++batched;
   EXPECT_EQ(batched, 2) << "expected exactly the two determinants to allocate crowd resources";
+}
+
+// ---------------------------------------------------------------------
+// Threaded crowd execution: chains must be bitwise-identical for every
+// thread count at a fixed crowd decomposition (per-walker RNG streams
+// are derived from the master seed, never shared across crowds, and the
+// population reduction runs serially in fixed walker order).
+// ---------------------------------------------------------------------
+
+TEST(ThreadParity, TinyVmcBitwiseIdenticalAcrossThreadCounts)
+{
+  const WorkloadInfo info = tiny_workload();
+  DriverConfig cfg = crowd_config(/*crowd_size=*/2, /*steps=*/4, /*walkers=*/5);
+  const RunResult serial = run_workload<double>(info, cfg, /*dmc=*/false);
+  expect_nonnegative_variance(serial);
+  for (int nthreads : {2, 4})
+  {
+    cfg.num_threads = nthreads;
+    const RunResult threaded = run_workload<double>(info, cfg, /*dmc=*/false);
+    expect_traces_bitwise(serial, threaded);
+  }
+}
+
+TEST(ThreadParity, GraphiteVmcBitwiseIdenticalAcrossThreadCounts)
+{
+  const WorkloadInfo& info = workload_info(Workload::Graphite);
+  DriverConfig cfg = crowd_config(/*crowd_size=*/2, /*steps=*/2, /*walkers=*/6);
+  const RunResult serial = run_workload<double>(info, cfg, /*dmc=*/false);
+  expect_nonnegative_variance(serial);
+  for (int nthreads : {2, 4})
+  {
+    cfg.num_threads = nthreads;
+    const RunResult threaded = run_workload<double>(info, cfg, /*dmc=*/false);
+    expect_traces_bitwise(serial, threaded);
+  }
+}
+
+TEST(ThreadParity, GraphiteDmcBitwiseIdenticalAcrossThreadCounts)
+{
+  // DMC adds the serial branching barrier and trial-energy feedback:
+  // a nondeterministic population reduction would change trial_energy
+  // and fork the whole subsequent chain, so this is the sharpest
+  // thread-count parity check in the suite.
+  const WorkloadInfo& info = workload_info(Workload::Graphite);
+  DriverConfig cfg = crowd_config(/*crowd_size=*/2, /*steps=*/2, /*walkers=*/6);
+  const RunResult serial = run_workload<double>(info, cfg, /*dmc=*/true);
+  expect_nonnegative_variance(serial);
+  for (int nthreads : {2, 4})
+  {
+    cfg.num_threads = nthreads;
+    const RunResult threaded = run_workload<double>(info, cfg, /*dmc=*/true);
+    expect_traces_bitwise(serial, threaded);
+  }
+}
+
+TEST(ThreadParity, ThreadsComposeWithLegacyScalarPath)
+{
+  // crowd_size == 1 (the legacy per-walker sweep) threads over walkers;
+  // it must agree bitwise with its own serial run too.
+  const WorkloadInfo info = tiny_workload();
+  DriverConfig cfg = crowd_config(/*crowd_size=*/1, /*steps=*/3, /*walkers=*/4);
+  const RunResult serial = run_workload<double>(info, cfg, /*dmc=*/true);
+  cfg.num_threads = 4;
+  const RunResult threaded = run_workload<double>(info, cfg, /*dmc=*/true);
+  expect_traces_bitwise(serial, threaded);
 }

@@ -412,7 +412,7 @@ DriverConfig parity_config(int steps, int walkers)
   cfg.num_walkers = walkers;
   cfg.seed = 20170708;
   cfg.recompute_period = 3;
-  cfg.threads = 1;
+  cfg.num_threads = 1;
   return cfg;
 }
 

@@ -49,7 +49,7 @@ DriverConfig test_config(int steps = 4, int walkers = 4)
   cfg.num_walkers = walkers;
   cfg.seed = 77;
   cfg.recompute_period = 3;
-  cfg.threads = 1;
+  cfg.num_threads = 1;
   return cfg;
 }
 
@@ -190,6 +190,10 @@ TEST(VmcDriver, RunsAndProducesFiniteStatistics)
   EXPECT_LE(res.mean_acceptance, 1.0);
   EXPECT_EQ(res.total_samples, 24u);
   EXPECT_GT(res.throughput, 0.0);
+  // Welford accumulation: the per-generation variance can never go
+  // negative, even for tightly clustered energies.
+  for (const auto& g : res.generations)
+    EXPECT_GE(g.variance, 0.0);
 }
 
 TEST(VmcDriver, DeterministicForSeed)
@@ -248,6 +252,7 @@ TEST(DmcDriver, PopulationStaysBoundedAndEnergiesFinite)
     EXPECT_GE(g.num_walkers, 3);  // >= target/2
     EXPECT_LE(g.num_walkers, 12); // <= 2*target
     EXPECT_GT(g.weight, 0.0);
+    EXPECT_GE(g.variance, 0.0); // weighted Welford: provably nonnegative
   }
 }
 
@@ -257,7 +262,7 @@ TEST(DmcDriver, MultiThreadedRunMatchesWalkerCount)
   BuildOptions opt;
   auto sys = build_system<float>(info, opt);
   DriverConfig cfg = test_config(5, 8);
-  cfg.threads = 2; // oversubscribed on 1 core, still must be correct
+  cfg.num_threads = 2; // oversubscribed on 1 core, still must be correct
   QMCDriver<float> driver(*sys.elec, *sys.twf, *sys.ham, cfg);
   driver.initialize_population();
   const RunResult res = driver.run_dmc();
@@ -288,7 +293,49 @@ TEST(DriverConfig, InvalidValuesAreRejectedAtConstruction)
   DriverConfig bad_crowd = test_config();
   bad_crowd.crowd_size = 0;
   EXPECT_THROW(make(bad_crowd), std::invalid_argument);
+  DriverConfig bad_threads = test_config();
+  bad_threads.num_threads = -1;
+  EXPECT_THROW(make(bad_threads), std::invalid_argument);
+  DriverConfig hw_threads = test_config();
+  hw_threads.num_threads = 0; // 0 = hardware default, valid
+  EXPECT_NO_THROW(make(hw_threads));
   EXPECT_NO_THROW(make(test_config()));
+}
+
+TEST(Statistics, WelfordVarianceSurvivesCatastrophicCancellation)
+{
+  // Energies clustered within 1e-9 of a large mean: the old
+  // e2_sum/n - mean^2 bookkeeping loses every significant digit of the
+  // spread and can return a negative variance; Welford must stay exact
+  // to the spread's own precision and nonnegative by construction.
+  const double center = -1.2345678901234e4;
+  const double spread = 1e-9;
+  detail::WeightedWelford acc;
+  double e_sum = 0, e2_sum = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i)
+  {
+    const double x = center + spread * std::sin(0.1 * i);
+    acc.add(1.0, x);
+    e_sum += x;
+    e2_sum += x * x;
+  }
+  const double naive = e2_sum / n - (e_sum / n) * (e_sum / n);
+  const double welford = acc.variance();
+  // The reference: sigma^2 of spread*sin() ~ spread^2/2.
+  EXPECT_GE(welford, 0.0);
+  EXPECT_NEAR(welford, 0.5 * spread * spread, 0.1 * spread * spread);
+  // Sanity that the scenario actually defeats the naive form (its
+  // absolute error dwarfs the true variance).
+  EXPECT_GT(std::abs(naive - welford), 10 * welford);
+  EXPECT_NEAR(acc.mean, center, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.w_sum, n);
+
+  // Weighted path: zero spread must give exactly zero variance.
+  detail::WeightedWelford flat;
+  for (int i = 0; i < 100; ++i)
+    flat.add(0.5 + 0.01 * i, center);
+  EXPECT_EQ(flat.variance(), 0.0);
 }
 
 TEST(BranchWalkers, MultiplicityRules)
@@ -432,7 +479,7 @@ TEST(RunEngine, AllVariantsProduceReports)
     spec.dmc = false;
     spec.driver.steps = 1;
     spec.driver.num_walkers = 1;
-    spec.driver.threads = 1;
+    spec.driver.num_threads = 1;
     spec.driver.seed = 3;
     const EngineReport rep = run_engine(spec);
     EXPECT_TRUE(std::isfinite(rep.result.mean_energy)) << to_string(v);

@@ -137,7 +137,7 @@ TEST(MixedPrecision, RecomputeBoundsDriftOverLongRuns)
     DriverConfig cfg;
     cfg.steps = 12;
     cfg.num_walkers = 2;
-    cfg.threads = 1;
+    cfg.num_threads = 1;
     cfg.seed = 99;
     cfg.recompute_period = recompute_period;
     QMCDriver<float> driver(*sys.elec, *sys.twf, *sys.ham, cfg);

@@ -122,8 +122,21 @@ public:
     metrics_.emplace_back();
   }
 
+  /// Start a minimal record for a kernel-level bench that times raw
+  /// kernels instead of running a whole engine: only workload/variant
+  /// tags, all numbers attached through add_metric().
+  void add_kernel_record(const std::string& workload, const std::string& variant)
+  {
+    std::ostringstream os;
+    os << "    {\n";
+    os << "      \"workload\": \"" << workload << "\",\n";
+    os << "      \"variant\": \"" << variant << "\"";
+    records_.push_back(os.str());
+    metrics_.emplace_back();
+  }
+
   /// Attach a named scalar to the most recent record; requires at least
-  /// one add_engine_record() first.
+  /// one add_engine_record() / add_kernel_record() first.
   void add_metric(const std::string& key, double value)
   {
     assert(!metrics_.empty() && "add_metric needs a record: call add_engine_record first");

@@ -61,6 +61,9 @@ inline void validate_config(const DriverConfig& c)
   if (c.num_threads < 0)
     throw std::invalid_argument("DriverConfig: num_threads must be >= 0 (0 = hardware), got " +
                                 std::to_string(c.num_threads));
+  if (c.delay_rank < 1)
+    throw std::invalid_argument("DriverConfig: delay_rank must be >= 1 (1 = rank-1 updates), got " +
+                                std::to_string(c.delay_rank));
 }
 
 /// Weighted Welford/West accumulator for the population statistics.

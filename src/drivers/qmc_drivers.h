@@ -48,6 +48,11 @@ struct DriverConfig
   /// the legacy per-walker loop. Identical seeds give identical chains
   /// at every crowd size (walker RNG streams are private).
   int crowd_size = 4;
+  /// Delayed (Woodbury) determinant updates: accepted rows bind into a
+  /// rank-`delay_rank` window and apply as BLAS3 gemms (Sec. 8.4). 1 =
+  /// the plain rank-1 Sherman-Morrison determinant (bitwise-identical
+  /// chains to earlier builds); values < 1 are rejected at construction.
+  int delay_rank = 1;
 };
 
 /// Per-generation record (Alg. 1 bookkeeping).

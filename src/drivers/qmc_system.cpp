@@ -24,6 +24,7 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   BuildOptions opt;
   opt.soa_layout = soa_layout;
   opt.seed = spec.driver.seed;
+  opt.delay_rank = spec.driver.delay_rank;
   QMCSystem<TR> sys = build_system<TR>(info, opt);
 
   QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, spec.driver);

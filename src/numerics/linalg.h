@@ -178,6 +178,35 @@ void ger(Matrix<T>& a, const T* x, const T* y, T alpha)
   }
 }
 
+/// C = alpha * A B + beta * C on raw row-major storage with explicit
+/// leading dimensions: C is m x n (ldc), A is m x k (lda), B is k x n
+/// (ldb). The Woodbury flush runs its rank-d gemms through this form so
+/// a partially filled delay window (d < delay rows of a preallocated
+/// binding matrix) needs no repacking. Naive ipj ordering, unit-stride
+/// inner loop.
+template<typename T>
+void gemm_strided(const T* __restrict a, std::size_t lda, const T* __restrict b, std::size_t ldb,
+                  T* __restrict c, std::size_t ldc, std::size_t m, std::size_t k, std::size_t n,
+                  T alpha = T(1), T beta = T(0))
+{
+  for (std::size_t i = 0; i < m; ++i)
+  {
+    T* __restrict ci = c + i * ldc;
+    if (beta != T(1))
+      for (std::size_t j = 0; j < n; ++j)
+        ci[j] *= beta;
+    const T* __restrict ai = a + i * lda;
+    for (std::size_t p = 0; p < k; ++p)
+    {
+      const T aip = alpha * ai[p];
+      const T* __restrict bp = b + p * ldb;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j)
+        ci[j] += aip * bp[j];
+    }
+  }
+}
+
 /// C = alpha * A B + beta * C. Naive ikj ordering (unit-stride inner loop);
 /// the delayed-update engine calls this with small k so this is adequate.
 template<typename T>
@@ -189,20 +218,8 @@ void gemm(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c, T alpha = T(1), 
   assert(b.rows() == k);
   if (c.rows() != m || c.cols() != n)
     c.resize(m, n);
-  for (std::size_t i = 0; i < m; ++i)
-  {
-    T* __restrict ci = c.row(i);
-    for (std::size_t j = 0; j < n; ++j)
-      ci[j] *= beta;
-    for (std::size_t p = 0; p < k; ++p)
-    {
-      const T aip = alpha * a(i, p);
-      const T* __restrict bp = b.row(p);
-#pragma omp simd
-      for (std::size_t j = 0; j < n; ++j)
-        ci[j] += aip * bp[j];
-    }
-  }
+  gemm_strided(a.data(), a.stride(), b.data(), b.stride(), c.data(), c.stride(), m, k, n, alpha,
+               beta);
 }
 
 /// dot product over n entries.

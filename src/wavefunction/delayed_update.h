@@ -1,20 +1,35 @@
 // Delayed (Woodbury) inverse updates -- the paper's Sec. 8.4 outlook,
-// implemented here as a working extension.
+// implemented here as a first-class production path.
 //
 // Sherman-Morrison applies a BLAS2 rank-1 update per accepted move
 // (2 N^2 flops each). The delayed scheme (McDaniel et al., XSEDE'16)
 // binds up to `delay` accepted rows and applies them together through
-// the Woodbury identity:
-//   (A + E W^T)^-1 = A^-1 - A^-1 E S^-1 W^T A^-1,   S = I + W^T A^-1 E
+// the Woodbury identity
+//   (A + E W^T)^-1 = A^-1 - A^-1 E S^-1 W^T A^-1,   S = W^T A^-1 E + I
 // so the O(d N^2) application becomes a pair of (N x d)(d x N) gemms --
 // BLAS3, cache-friendly, and the basis for QMCPACK's later GPU path.
-// Ratios against the partially-updated inverse are evaluated through the
-// same identity with d extra dot products.
+//
+// Engine state (all binding matrices stored gemm-ready, rows are the
+// delay slots):
+//   u_ : bound replacement orbital rows u_m            (delay x N)
+//   x_ : bind-time copies of M rows p_m  (= A^-1 E)^T  (delay x N)
+//   s_ : S(m,l) = u_m . x_l, maintained incrementally  (delay x delay)
+// Per accept the engine does O(dN) work (copy two rows, extend S); the
+// O(dN^2) matrix application happens only at flush() as two full-width
+// gemms (M . U^T to form the correction couplings, then the rank-d
+// update of M) plus a d x d solve. Ratios and effective inverse rows
+// against the partially updated matrix cost O(dN) through the same
+// identity. Binding the same row twice inside one window overwrites the
+// earlier slot (the final matrix depends only on the last accepted row
+// content), which keeps the pending row set distinct and the Woodbury
+// algebra exact for repeated-electron windows.
 //
 // Storage convention matches DiracDeterminant: M = (A^-1)^T.
 #ifndef QMCXX_WAVEFUNCTION_DELAYED_UPDATE_H
 #define QMCXX_WAVEFUNCTION_DELAYED_UPDATE_H
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "containers/matrix.h"
@@ -28,11 +43,28 @@ template<typename TR>
 class DelayedUpdateEngine
 {
 public:
-  DelayedUpdateEngine(int n, int delay) : n_(n), delay_(delay)
+  /// Throws std::invalid_argument unless delay >= 1 (delay == 0 would
+  /// make accept() write row 0 of a zero-row binding matrix and the
+  /// window would never auto-flush), matching DriverConfig validation.
+  /// The window is clamped to n: pending rows are distinct, so a wider
+  /// window could never fill and would only inflate the binding
+  /// matrices (delay x n each) and S (delay x delay).
+  DelayedUpdateEngine(int n, int delay) : n_(n)
   {
-    v_.resize(delay, n);
-    t_.resize(delay, n);
-    ids_.reserve(delay);
+    if (delay < 1)
+      throw std::invalid_argument("DelayedUpdateEngine: delay must be >= 1, got " +
+                                  std::to_string(delay));
+    if (n < 1)
+      throw std::invalid_argument("DelayedUpdateEngine: n must be >= 1, got " + std::to_string(n));
+    delay_ = delay < n ? delay : n;
+    u_.resize(delay_, n, /*pad_rows=*/true);
+    x_.resize(delay_, n, /*pad_rows=*/true);
+    s_.resize(delay_, delay_);
+    ids_.reserve(delay_);
+    const std::size_t np = getAlignedSize<TR>(n);
+    row_scratch_.assign(np, TR(0));
+    y_.resize(delay_);
+    c_.resize(delay_);
   }
 
   void attach(Matrix<TR>* minv) { minv_ = minv; }
@@ -41,71 +73,99 @@ public:
 
   /// Drop pending bindings without applying them (used after a
   /// from-scratch recompute replaced the inverse wholesale).
-  void clear() { ids_.clear(); }
+  void clear()
+  {
+    ids_.clear();
+    sinv_valid_ = false;
+  }
+
+  /// Effective row i of the inverse (transposed storage) seen through
+  /// all pending delayed updates. Returns a pointer to the committed M
+  /// row when nothing is pending (no copy); otherwise fills `work`
+  /// (>= n entries) with the corrected row and returns it.
+  const TR* effective_row(int i, TR* work) const
+  {
+    const int d = pending();
+    const TR* base = minv_->row(i);
+    if (d == 0)
+      return base;
+    // y_l = u_l . M_i - delta(p_l, i)  (row i of W^T A^-1),
+    // c = S^-1 y, then M_eff,i = M_i - sum_m c_m x_m.
+    for (int l = 0; l < d; ++l)
+      y_[l] = static_cast<double>(
+                  linalg::dot_n(u_.row(l), base, static_cast<std::size_t>(n_))) -
+          (ids_[l] == i ? 1.0 : 0.0);
+    refresh_small_inverse();
+    for (int m = 0; m < d; ++m)
+    {
+      double cm = 0.0;
+      for (int l = 0; l < d; ++l)
+        cm += sinv_(m, l) * y_[l];
+      c_[m] = cm;
+    }
+    for (int l = 0; l < n_; ++l)
+      work[l] = base[l];
+    for (int m = 0; m < d; ++m)
+    {
+      const TR cm = static_cast<TR>(c_[m]);
+      const TR* __restrict xr = x_.row(m);
+#pragma omp simd
+      for (int l = 0; l < n_; ++l)
+        work[l] -= cm * xr[l];
+    }
+    return work;
+  }
+
+  /// Effective row i of the inverse including the pending updates; out
+  /// must hold n entries.
+  void get_inv_row(int i, TR* out) const
+  {
+    const TR* row = effective_row(i, out);
+    if (row != out)
+      for (int l = 0; l < n_; ++l)
+        out[l] = row[l];
+  }
 
   /// Effective ratio of replacing row i with orbital vector v, seen
   /// through all pending delayed updates.
   double ratio(const TR* v, int i) const
   {
-    const int d = pending();
-    double base = static_cast<double>(linalg::dot_n(v, minv_->row(i), static_cast<std::size_t>(n_)));
-    if (d == 0)
-      return base;
-    const Matrix<double> sinv = small_inverse();
-    std::vector<double> a(d);
-    for (int n = 0; n < d; ++n)
-      a[n] = static_cast<double>(
-          linalg::dot_n(v, minv_->row(ids_[n]), static_cast<std::size_t>(n_)));
-    double corr = 0.0;
-    for (int n = 0; n < d; ++n)
-      for (int m = 0; m < d; ++m)
-      {
-        const double y_mi = static_cast<double>(t_(m, i)) - (ids_[m] == i ? 1.0 : 0.0);
-        corr += a[n] * sinv(n, m) * y_mi;
-      }
-    return base - corr;
-  }
-
-  /// Effective row i of the inverse (transposed storage) including the
-  /// pending updates; out must hold n entries.
-  void get_inv_row(int i, TR* out) const
-  {
-    const int d = pending();
-    const TR* base = minv_->row(i);
-    for (int l = 0; l < n_; ++l)
-      out[l] = base[l];
-    if (d == 0)
-      return;
-    const Matrix<double> sinv = small_inverse();
-    for (int n = 0; n < d; ++n)
-    {
-      double c_n = 0.0;
-      for (int m = 0; m < d; ++m)
-      {
-        const double y_mi = static_cast<double>(t_(m, i)) - (ids_[m] == i ? 1.0 : 0.0);
-        c_n += sinv(n, m) * y_mi;
-      }
-      const TR cn = static_cast<TR>(c_n);
-      const TR* __restrict xr = minv_->row(ids_[n]);
-#pragma omp simd
-      for (int l = 0; l < n_; ++l)
-        out[l] -= cn * xr[l];
-    }
+    const TR* row = effective_row(i, row_scratch_.data());
+    return static_cast<double>(linalg::dot_n(v, row, static_cast<std::size_t>(n_)));
   }
 
   /// Bind an accepted row replacement; flushes automatically when the
-  /// delay window is full.
+  /// delay window is full. O(dN): no touch of the N x N inverse.
   void accept(const TR* v, int i)
   {
-    const int m = pending();
-    TR* __restrict vrow = v_.row(m);
+    int m = slot_of(i);
+    if (m < 0)
+    {
+      // New pending row: remember the committed M row (the A^-1 E
+      // column) before any flush modifies it.
+      m = pending();
+      ids_.push_back(i);
+      const TR* src = minv_->row(i);
+      TR* __restrict dst = x_.row(m);
+#pragma omp simd
+      for (int l = 0; l < n_; ++l)
+        dst[l] = src[l];
+    }
+    // (Re)bind the orbital row; a repeated electron overwrites its slot.
+    TR* __restrict urow = u_.row(m);
+#pragma omp simd
     for (int l = 0; l < n_; ++l)
-      vrow[l] = v[l];
-    // t_m = M v (against the unmodified M).
-    for (int j = 0; j < n_; ++j)
-      t_(m, j) = linalg::dot_n(minv_->row(j), v, static_cast<std::size_t>(n_));
-    ids_.push_back(i);
-    if (pending() == delay_)
+      urow[l] = v[l];
+    // Extend S: row m couples the new u against every pending x, column
+    // m couples every pending u against x_m.
+    const int d = pending();
+    for (int l = 0; l < d; ++l)
+    {
+      s_(m, l) = dot_double(u_.row(m), x_.row(l), n_);
+      s_(l, m) = dot_double(u_.row(l), x_.row(m), n_);
+    }
+    sinv_valid_ = false;
+    if (d == delay_)
       flush();
   }
 
@@ -115,70 +175,105 @@ public:
     const int d = pending();
     if (d == 0)
       return;
-    const Matrix<double> sinv = small_inverse();
-    // Copies of the X rows (rows ids_[n] of M) before modification.
-    Matrix<TR> xrows(d, n_);
-    for (int n = 0; n < d; ++n)
+    const std::size_t n = static_cast<std::size_t>(n_);
+    const std::size_t dd = static_cast<std::size_t>(d);
+
+    // Y^T = M U^T (one pass over M, BLAS3), then the identity
+    // correction: Y(m, i) = u_m . M_i - delta(p_m, i).
+    ut_.resize(n_, d);
+    for (int m = 0; m < d; ++m)
     {
-      const TR* src = minv_->row(ids_[n]);
-      TR* dst = xrows.row(n);
-      for (int l = 0; l < n_; ++l)
-        dst[l] = src[l];
+      const TR* __restrict um = u_.row(m);
+      for (int j = 0; j < n_; ++j)
+        ut_(j, m) = um[j];
     }
-    // B(j,n) = sum_m y_m[j] sinv(n,m);  M(j,:) -= sum_n B(j,n) xrows(n,:).
-    std::vector<TR> b(d);
-    for (int j = 0; j < n_; ++j)
-    {
-      for (int n = 0; n < d; ++n)
-      {
-        double c = 0.0;
-        for (int m = 0; m < d; ++m)
-        {
-          const double y_mj = static_cast<double>(t_(m, j)) - (ids_[m] == j ? 1.0 : 0.0);
-          c += sinv(n, m) * y_mj;
-        }
-        b[n] = static_cast<TR>(c);
-      }
-      TR* __restrict mj = minv_->row(j);
-      for (int n = 0; n < d; ++n)
-      {
-        const TR bn = b[n];
-        const TR* __restrict xr = xrows.row(n);
-#pragma omp simd
-        for (int l = 0; l < n_; ++l)
-          mj[l] -= bn * xr[l];
-      }
-    }
-    ids_.clear();
+    yt_.resize(n_, d);
+    linalg::gemm_strided(minv_->data(), minv_->stride(), ut_.data(), ut_.stride(), yt_.data(),
+                         yt_.stride(), n, n, dd);
+    for (int m = 0; m < d; ++m)
+      yt_(ids_[m], m) -= TR(1);
+
+    // C^T = Y^T S^-T (n x d), then the rank-d update M -= C^T X.
+    refresh_small_inverse();
+    sinv_t_.resize(d, d);
+    for (int m = 0; m < d; ++m)
+      for (int l = 0; l < d; ++l)
+        sinv_t_(m, l) = static_cast<TR>(sinv_(l, m));
+    ct_.resize(n_, d);
+    linalg::gemm_strided(yt_.data(), yt_.stride(), sinv_t_.data(), sinv_t_.stride(), ct_.data(),
+                         ct_.stride(), n, dd, dd);
+    linalg::gemm_strided(ct_.data(), ct_.stride(), x_.data(), x_.stride(), minv_->data(),
+                         minv_->stride(), n, dd, n, TR(-1), TR(1));
+    clear();
   }
 
 private:
-  /// S_mn = t_m[i_n]; returns S^-1 in double.
-  Matrix<double> small_inverse() const
+  /// Slot of a pending binding for row i, or -1.
+  int slot_of(int i) const
   {
+    for (int m = 0; m < pending(); ++m)
+      if (ids_[m] == i)
+        return m;
+    return -1;
+  }
+
+  /// Double-accumulated dot: S couples every pending pair, so it is
+  /// kept at full precision even when TR is float (Sec. 7.2 spirit).
+  static double dot_double(const TR* __restrict a, const TR* __restrict b, int n)
+  {
+    double s = 0.0;
+#pragma omp simd reduction(+ : s)
+    for (int j = 0; j < n; ++j)
+      s += static_cast<double>(a[j]) * static_cast<double>(b[j]);
+    return s;
+  }
+
+  /// S^-1 of the pending d x d block, cached between accepts.
+  void refresh_small_inverse() const
+  {
+    if (sinv_valid_)
+      return;
     const int d = pending();
     Matrix<double> s(d, d);
     for (int m = 0; m < d; ++m)
-      for (int n = 0; n < d; ++n)
-        s(m, n) = static_cast<double>(t_(m, ids_[n]));
-    Matrix<double> sinv;
+      for (int l = 0; l < d; ++l)
+        s(m, l) = s_(m, l);
     double logdet, sign;
-    linalg::invert_matrix(s, sinv, logdet, sign);
-    return sinv;
+    linalg::invert_matrix(s, sinv_, logdet, sign);
+    sinv_valid_ = true;
   }
 
   int n_;
   int delay_;
   Matrix<TR>* minv_ = nullptr;
-  Matrix<TR> v_;       // bound orbital vectors (delay x n)
-  Matrix<TR> t_;       // t_m = M v_m rows (delay x n)
-  std::vector<int> ids_;
+  Matrix<TR> u_; // bound orbital rows (delay x n), consumed by the flush gemms
+  Matrix<TR> x_; // bind-time copies of the affected M rows (delay x n)
+  Matrix<double> s_;            // S(m,l) = u_m . x_l (delay x delay)
+  std::vector<int> ids_;        // pending row indices (distinct)
+  mutable Matrix<double> sinv_; // cached S^-1
+  mutable bool sinv_valid_ = false;
+  mutable aligned_vector<TR> row_scratch_;
+  mutable std::vector<double> y_, c_;
+  Matrix<TR> ut_, yt_, sinv_t_, ct_; // flush workspaces (n x d / d x d)
 };
 
 /// Slater determinant using the delayed-update engine: identical
 /// results to DiracDeterminant, but accepted moves bind into the engine
 /// and the inverse is only modified in BLAS3 batches of `delay` rows --
 /// the paper's proposed fix for the DetUpdate bottleneck (Sec. 8.4).
+///
+/// All scalar and batched (crowd) move paths are inherited from the
+/// base determinant through its two protected seams: inverse_row
+/// returns the engine-corrected effective row (pending Woodbury
+/// bindings applied on the fly), and commit_from_rows binds the
+/// accepted row into the delay window instead of running the
+/// Sherman-Morrison update. Crowds of delayed walkers therefore share
+/// staged SPO rows exactly like plain determinants, while every
+/// walker's pending window stays private. The engine flushes at every
+/// generation barrier -- update_buffer (Crowd::release, so threaded
+/// crowd execution and DMC branching always serialize committed
+/// inverses) and evaluate_gl (measurement) -- and clears whenever a
+/// from-scratch recompute replaces the inverse wholesale.
 template<typename TR>
 class DiracDeterminantDelayed : public DiracDeterminant<TR>
 {
@@ -194,6 +289,7 @@ public:
   }
 
   std::string name() const override { return "DiracDeterminantDelayed"; }
+  int delay_rank() const { return engine_.delay(); }
 
   std::unique_ptr<WaveFunctionComponent<TR>> clone() const override
   {
@@ -201,110 +297,10 @@ public:
                                                          engine_.delay());
   }
 
-  // The delayed engine binds accepted rows instead of applying them, so
-  // DiracDeterminant's batched crowd path (which commits via the plain
-  // Sherman-Morrison update) must not run here: fall back to the flat
-  // per-walker loops, which route through this class's scalar overrides.
-  std::unique_ptr<MWResource> make_mw_resource(int) const override { return nullptr; }
-
-  void mw_ratio_grad(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
-                     const RefVector<ParticleSet<TR>>& p_list, int k, double* ratios, Grad* grads,
-                     MWResource* resource) override
-  {
-    WaveFunctionComponent<TR>::mw_ratio_grad(wfc_list, p_list, k, ratios, grads, resource);
-  }
-
-  void mw_accept_reject(const RefVector<WaveFunctionComponent<TR>>& wfc_list,
-                        const RefVector<ParticleSet<TR>>& p_list, int k,
-                        const std::vector<char>& is_accepted, MWResource* resource) override
-  {
-    WaveFunctionComponent<TR>::mw_accept_reject(wfc_list, p_list, k, is_accepted, resource);
-  }
-
-  double ratio(ParticleSet<TR>& p, int k) override
-  {
-    if (!this->owns(k))
-      return 1.0;
-    this->spos_->evaluate_v(p.active_pos(), this->psiv_.data());
-    ScopedTimer timer(Kernel::DetRatio);
-    this->cur_ratio_ = engine_.ratio(this->psiv_.data(), k - this->first_);
-    this->cur_vgl_valid_ = false;
-    return this->cur_ratio_;
-  }
-
-  double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) override
-  {
-    if (!this->owns(k))
-    {
-      grad = Grad{};
-      return 1.0;
-    }
-    const int kl = k - this->first_;
-    this->spos_->evaluate_vgl(p.active_pos(), this->psiv_.data(), this->dpsiv_,
-                              this->d2psiv_.data());
-    ScopedTimer timer(Kernel::DetRatio);
-    this->cur_ratio_ = engine_.ratio(this->psiv_.data(), kl);
-    this->cur_vgl_valid_ = true;
-    if (this->cur_ratio_ != 0.0 && std::isfinite(this->cur_ratio_))
-    {
-      engine_.get_inv_row(kl, row_work_.data());
-      const double inv_ratio = 1.0 / this->cur_ratio_;
-      double g[3] = {0, 0, 0};
-      for (unsigned d = 0; d < 3; ++d)
-        g[d] = static_cast<double>(
-            linalg::dot_n(this->dpsiv_.data(d), row_work_.data(),
-                          static_cast<std::size_t>(this->nel_)));
-      grad = Grad{g[0] * inv_ratio, g[1] * inv_ratio, g[2] * inv_ratio};
-    }
-    else
-    {
-      grad = Grad{};
-    }
-    return this->cur_ratio_;
-  }
-
-  Grad eval_grad(ParticleSet<TR>& p, int k) override
-  {
-    (void)p;
-    if (!this->owns(k))
-      return Grad{};
-    const int kl = k - this->first_;
-    engine_.get_inv_row(kl, row_work_.data());
-    double g[3];
-    for (unsigned d = 0; d < 3; ++d)
-    {
-      const TR* dv = d == 0 ? this->dpsim_x_.row(kl)
-          : d == 1         ? this->dpsim_y_.row(kl)
-                           : this->dpsim_z_.row(kl);
-      g[d] = static_cast<double>(
-          linalg::dot_n(dv, row_work_.data(), static_cast<std::size_t>(this->nel_)));
-    }
-    return Grad{g[0], g[1], g[2]};
-  }
-
-  void accept_move(ParticleSet<TR>& p, int k) override
-  {
-    if (!this->owns(k))
-      return;
-    const int kl = k - this->first_;
-    if (!this->cur_vgl_valid_)
-      this->spos_->evaluate_vgl(p.active_pos(), this->psiv_.data(), this->dpsiv_,
-                                this->d2psiv_.data());
-    {
-      ScopedTimer timer(Kernel::DetUpdate);
-      engine_.accept(this->psiv_.data(), kl); // auto-flushes at the window
-    }
-    this->copy_derivative_rows(kl);
-    this->log_value_ += std::log(std::abs(this->cur_ratio_));
-    if (this->cur_ratio_ < 0)
-      this->sign_ = -this->sign_;
-    ++this->updates_since_recompute_;
-    this->cur_vgl_valid_ = false;
-  }
-
+  // ---- generation-barrier flush semantics -------------------------------
   void evaluate_gl(ParticleSet<TR>& p, std::vector<Grad>& g, std::vector<double>& l) override
   {
-    engine_.flush(); // measurement reads the committed inverse
+    flush_window(); // measurement reads the committed inverse
     Base::evaluate_gl(p, g, l);
   }
 
@@ -316,7 +312,7 @@ public:
 
   void update_buffer(PooledBuffer& buf) override
   {
-    engine_.flush();
+    flush_window(); // Crowd::release / branching serialize committed state
     Base::update_buffer(buf);
   }
 
@@ -328,7 +324,51 @@ public:
 
   int pending_updates() const { return engine_.pending(); }
 
+protected:
+  /// Ratios and gradients see the inverse through the pending window.
+  const TR* inverse_row(int kl) override
+  {
+    return engine_.effective_row(kl, row_work_.data());
+  }
+
+  /// Commit an accepted move into the delay window (O(dN): bind, no
+  /// inverse touch). A degenerate accepted ratio falls back to a
+  /// from-scratch rebuild (pending bindings are already committed in
+  /// the particle positions, so clear-and-recompute is exact).
+  void commit_from_rows(ParticleSet<TR>& p, int kl, const TR* pv, const TR* svx, const TR* svy,
+                        const TR* svz, const TR* sv2) override
+  {
+    this->copy_derivative_rows(kl, svx, svy, svz, sv2);
+    if (!Base::ratio_is_updatable(this->cur_ratio_))
+    {
+      engine_.clear();
+      this->recompute_with_row(p, kl, pv);
+      this->cur_vgl_valid_ = false;
+      return;
+    }
+    {
+      ScopedTimer timer(Kernel::DetUpdate);
+      engine_.accept(pv, kl); // auto-flushes at the window
+    }
+    this->log_value_ += std::log(std::abs(this->cur_ratio_));
+    if (this->cur_ratio_ < 0)
+      this->sign_ = -this->sign_;
+    ++this->updates_since_recompute_;
+    this->cur_vgl_valid_ = false;
+  }
+
 private:
+  /// Barrier flush, attributed to the DetUpdate kernel so profiles
+  /// account the deferred BLAS3 application where the rank-1 path would
+  /// have paid per accept.
+  void flush_window()
+  {
+    if (engine_.pending() == 0)
+      return;
+    ScopedTimer timer(Kernel::DetUpdate);
+    engine_.flush();
+  }
+
   DelayedUpdateEngine<TR> engine_;
   aligned_vector<TR> row_work_;
 };

@@ -118,7 +118,7 @@ public:
     const int kl = k - first_;
     spos_->evaluate_v(p.active_pos(), psiv_.data());
     ScopedTimer timer(Kernel::DetRatio);
-    cur_ratio_ = static_cast<double>(linalg::dot_n(psiv_.data(), minv_.row(kl),
+    cur_ratio_ = static_cast<double>(linalg::dot_n(psiv_.data(), inverse_row(kl),
                                                    static_cast<std::size_t>(nel_)));
     cur_vgl_valid_ = false;
     return cur_ratio_;
@@ -134,32 +134,9 @@ public:
     const int kl = k - first_;
     spos_->evaluate_vgl(p.active_pos(), psiv_.data(), dpsiv_, d2psiv_.data());
     ScopedTimer timer(Kernel::DetRatio);
-    const TR* __restrict row = minv_.row(kl);
-    TR rat = 0, gx = 0, gy = 0, gz = 0;
-    const TR* __restrict pv = psiv_.data();
-    const TR* __restrict dvx = dpsiv_.data(0);
-    const TR* __restrict dvy = dpsiv_.data(1);
-    const TR* __restrict dvz = dpsiv_.data(2);
-#pragma omp simd reduction(+ : rat, gx, gy, gz)
-    for (int j = 0; j < nel_; ++j)
-    {
-      rat += pv[j] * row[j];
-      gx += dvx[j] * row[j];
-      gy += dvy[j] * row[j];
-      gz += dvz[j] * row[j];
-    }
-    cur_ratio_ = static_cast<double>(rat);
+    reduce_ratio_grad(psiv_.data(), dpsiv_.data(0), dpsiv_.data(1), dpsiv_.data(2),
+                      inverse_row(kl), cur_ratio_, grad);
     cur_vgl_valid_ = true;
-    if (cur_ratio_ != 0.0 && std::isfinite(cur_ratio_))
-    {
-      const double inv_ratio = 1.0 / cur_ratio_;
-      grad = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
-                  static_cast<double>(gz) * inv_ratio};
-    }
-    else
-    {
-      grad = Grad{}; // node touch: the driver rejects ratio <= 0 moves
-    }
     return cur_ratio_;
   }
 
@@ -169,7 +146,7 @@ public:
     if (!owns(k))
       return Grad{};
     const int kl = k - first_;
-    const TR* __restrict row = minv_.row(kl);
+    const TR* __restrict row = inverse_row(kl);
     TR gx = 0, gy = 0, gz = 0;
     const TR* __restrict dvx = dpsim_x_.row(kl);
     const TR* __restrict dvy = dpsim_y_.row(kl);
@@ -195,7 +172,7 @@ public:
       // position before the inverse update.
       spos_->evaluate_vgl(p.active_pos(), psiv_.data(), dpsiv_, d2psiv_.data());
     }
-    accept_from_rows(kl, psiv_.data(), dpsiv_.data(0), dpsiv_.data(1), dpsiv_.data(2),
+    commit_from_rows(p, kl, psiv_.data(), dpsiv_.data(0), dpsiv_.data(1), dpsiv_.data(2),
                      d2psiv_.data());
   }
 
@@ -244,36 +221,15 @@ public:
     for (int iw = 0; iw < nw; ++iw)
     {
       auto& det = static_cast<DiracDeterminant<TR>&>(wfc_list[iw].get());
-      const TR* __restrict row = det.minv_.row(kl);
-      const TR* __restrict pv = res->vgl.psi.row(iw);
-      const TR* __restrict dvx = res->vgl.gx.row(iw);
-      const TR* __restrict dvy = res->vgl.gy.row(iw);
-      const TR* __restrict dvz = res->vgl.gz.row(iw);
-      TR rat = 0, gx = 0, gy = 0, gz = 0;
-#pragma omp simd reduction(+ : rat, gx, gy, gz)
-      for (int j = 0; j < nel_; ++j)
-      {
-        rat += pv[j] * row[j];
-        gx += dvx[j] * row[j];
-        gy += dvy[j] * row[j];
-        gz += dvz[j] * row[j];
-      }
-      det.cur_ratio_ = static_cast<double>(rat);
+      Grad grad{};
+      det.reduce_ratio_grad(res->vgl.psi.row(iw), res->vgl.gx.row(iw), res->vgl.gy.row(iw),
+                            res->vgl.gz.row(iw), det.inverse_row(kl), det.cur_ratio_, grad);
       // The batch rows, not this walker's member scratch, hold the
       // proposed-position orbitals; a scalar accept_move after this call
       // must re-evaluate, a batched one reuses the rows.
       det.cur_vgl_valid_ = false;
       ratios[iw] = det.cur_ratio_;
-      if (det.cur_ratio_ != 0.0 && std::isfinite(det.cur_ratio_))
-      {
-        const double inv_ratio = 1.0 / det.cur_ratio_;
-        grads[iw] = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
-                         static_cast<double>(gz) * inv_ratio};
-      }
-      else
-      {
-        grads[iw] = Grad{};
-      }
+      grads[iw] = grad;
     }
   }
 
@@ -297,8 +253,8 @@ public:
     {
       auto& det = static_cast<DiracDeterminant<TR>&>(wfc_list[iw].get());
       if (is_accepted[iw])
-        det.accept_from_rows(kl, res->vgl.psi.row(iw), res->vgl.gx.row(iw), res->vgl.gy.row(iw),
-                             res->vgl.gz.row(iw), res->vgl.d2.row(iw));
+        det.commit_from_rows(p_list[iw].get(), kl, res->vgl.psi.row(iw), res->vgl.gx.row(iw),
+                             res->vgl.gy.row(iw), res->vgl.gz.row(iw), res->vgl.d2.row(iw));
       else
         det.reject_move(k);
     }
@@ -367,22 +323,113 @@ public:
   Matrix<TR>& inverse_transposed() { return minv_; }
 
 protected:
+  // Every scalar and batched move path above is shared with the
+  // delayed-update subclass through two seams: inverse_row (which row
+  // the ratio/gradient reductions read) and commit_from_rows (how an
+  // accepted move reaches the inverse). Protocol fixes -- resource
+  // fallbacks, the last_k handshake, staging -- therefore exist once.
+
+  /// Row kl of the inverse as ratios and gradients must see it. The
+  /// delayed subclass returns the engine-corrected effective row.
+  virtual const TR* inverse_row(int kl) { return minv_.row(kl); }
+
+  /// Commit an accepted move whose orbital values/derivatives live in
+  /// the given rows (member scratch on the scalar path, the shared
+  /// crowd batch on the batched path). The delayed subclass binds into
+  /// its window instead of applying Sherman-Morrison.
+  virtual void commit_from_rows(ParticleSet<TR>& p, int kl, const TR* pv, const TR* svx,
+                                const TR* svy, const TR* svz, const TR* sv2)
+  {
+    accept_from_rows(p, kl, pv, svx, svy, svz, sv2);
+  }
+
+  /// Fused ratio+gradient reduction of the proposed-position orbital
+  /// rows against an inverse row. One code path for the scalar and
+  /// batched entries keeps their chains arithmetically identical.
+  void reduce_ratio_grad(const TR* __restrict pv, const TR* __restrict dvx,
+                         const TR* __restrict dvy, const TR* __restrict dvz,
+                         const TR* __restrict row, double& ratio_out, Grad& grad)
+  {
+    TR rat = 0, gx = 0, gy = 0, gz = 0;
+#pragma omp simd reduction(+ : rat, gx, gy, gz)
+    for (int j = 0; j < nel_; ++j)
+    {
+      rat += pv[j] * row[j];
+      gx += dvx[j] * row[j];
+      gy += dvy[j] * row[j];
+      gz += dvz[j] * row[j];
+    }
+    ratio_out = static_cast<double>(rat);
+    if (ratio_out != 0.0 && std::isfinite(ratio_out))
+    {
+      const double inv_ratio = 1.0 / ratio_out;
+      grad = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
+                  static_cast<double>(gz) * inv_ratio};
+    }
+    else
+    {
+      grad = Grad{}; // node touch: the driver rejects ratio <= 0 moves
+    }
+  }
+
+  /// True when an accepted ratio can drive an incremental inverse
+  /// update; a zero or non-finite ratio would poison log_value_ with
+  /// -inf/NaN permanently and divide the Sherman-Morrison coefficient
+  /// by (near) zero.
+  static bool ratio_is_updatable(double r) { return r != 0.0 && std::isfinite(r); }
+
   /// Commit a move whose orbital values/derivatives live in the given
   /// rows (member scratch on the scalar path, the shared crowd batch on
   /// the batched path). cur_ratio_ must already hold the accepted ratio.
-  void accept_from_rows(int kl, const TR* pv, const TR* svx, const TR* svy, const TR* svz,
-                        const TR* sv2)
+  /// A degenerate accepted ratio falls back to recompute_with_row.
+  void accept_from_rows(ParticleSet<TR>& p, int kl, const TR* pv, const TR* svx, const TR* svy,
+                        const TR* svz, const TR* sv2)
   {
+    copy_derivative_rows(kl, svx, svy, svz, sv2);
+    if (!ratio_is_updatable(cur_ratio_))
+    {
+      recompute_with_row(p, kl, pv);
+      cur_vgl_valid_ = false;
+      return;
+    }
     {
       ScopedTimer timer(Kernel::DetUpdate);
       sherman_morrison_row_update(kl, pv);
     }
-    copy_derivative_rows(kl, svx, svy, svz, sv2);
     this->log_value_ += std::log(std::abs(cur_ratio_));
     if (cur_ratio_ < 0)
       sign_ = -sign_;
     ++updates_since_recompute_;
     cur_vgl_valid_ = false;
+  }
+
+  /// From-scratch rebuild honoring an in-flight accepted move: row kl of
+  /// the Slater matrix comes from pv (the orbitals already evaluated at
+  /// the accepted position, which the particle set has not committed
+  /// yet), every other row from the committed positions in p. Replaces
+  /// log_value_/sign_/minv_ wholesale, like recompute().
+  void recompute_with_row(ParticleSet<TR>& p, int kl, const TR* pv)
+  {
+    Matrix<double> a(nel_, nel_);
+    for (int j = 0; j < nel_; ++j)
+      a(kl, j) = static_cast<double>(pv[j]); // copy first: pv may alias psiv_
+    for (int i = 0; i < nel_; ++i)
+    {
+      if (i == kl)
+        continue;
+      spos_->evaluate_v(p.pos(first_ + i), psiv_.data());
+      for (int j = 0; j < nel_; ++j)
+        a(i, j) = static_cast<double>(psiv_[j]);
+    }
+    Matrix<double> ainv;
+    double logdet = 0, sign = 1;
+    linalg::invert_matrix(a, ainv, logdet, sign);
+    for (int i = 0; i < nel_; ++i)
+      for (int j = 0; j < nel_; ++j)
+        minv_(i, j) = static_cast<TR>(ainv(j, i)); // transposed storage
+    this->log_value_ = logdet;
+    sign_ = sign;
+    updates_since_recompute_ = 0;
   }
 
   void copy_derivative_rows(int kl)

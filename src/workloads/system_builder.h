@@ -17,6 +17,7 @@
 #include "numerics/spline_builder.h"
 #include "particle/distance_table_aos.h"
 #include "particle/distance_table_soa.h"
+#include "wavefunction/delayed_update.h"
 #include "wavefunction/dirac_determinant.h"
 #include "wavefunction/jastrow_one_body.h"
 #include "wavefunction/jastrow_two_body.h"
@@ -51,6 +52,12 @@ struct BuildOptions
   std::uint64_t seed = 20170708;
   DTUpdateMode dt_mode = DTUpdateMode::OnTheFly; ///< SoA AA policy
   int jastrow_knots = 10;
+  /// Delayed (Woodbury) determinant updates (Sec. 8.4): accepted rows
+  /// bind into a rank-`delay_rank` window applied as BLAS3 gemms.
+  /// 1 selects the plain rank-1 Sherman-Morrison DiracDeterminant (the
+  /// bitwise-identical legacy path); values > 1 build
+  /// DiracDeterminantDelayed for both spin blocks.
+  int delay_rank = 1;
 };
 
 template<typename TR>
@@ -168,8 +175,14 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
       }
       sys.twf->add_component(std::move(j1));
     }
-    sys.twf->add_component(std::make_unique<DiracDeterminant<TR>>(sys.spos, 0, nhalf));
-    sys.twf->add_component(std::make_unique<DiracDeterminant<TR>>(sys.spos, nhalf, n - nhalf));
+    auto make_determinant = [&](int first, int nel) -> std::unique_ptr<WaveFunctionComponent<TR>> {
+      if (opt.delay_rank > 1)
+        return std::make_unique<DiracDeterminantDelayed<TR>>(sys.spos, first, nel,
+                                                             opt.delay_rank);
+      return std::make_unique<DiracDeterminant<TR>>(sys.spos, first, nel);
+    };
+    sys.twf->add_component(make_determinant(0, nhalf));
+    sys.twf->add_component(make_determinant(nhalf, n - nhalf));
   }
 
   // ---- Hamiltonian -----------------------------------------------------------

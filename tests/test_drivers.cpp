@@ -299,6 +299,14 @@ TEST(DriverConfig, InvalidValuesAreRejectedAtConstruction)
   DriverConfig hw_threads = test_config();
   hw_threads.num_threads = 0; // 0 = hardware default, valid
   EXPECT_NO_THROW(make(hw_threads));
+  DriverConfig bad_delay = test_config();
+  bad_delay.delay_rank = 0;
+  EXPECT_THROW(make(bad_delay), std::invalid_argument);
+  bad_delay.delay_rank = -2;
+  EXPECT_THROW(make(bad_delay), std::invalid_argument);
+  DriverConfig delayed = test_config();
+  delayed.delay_rank = 4; // Woodbury window, valid
+  EXPECT_NO_THROW(make(delayed));
   EXPECT_NO_THROW(make(test_config()));
 }
 

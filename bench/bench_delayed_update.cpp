@@ -9,9 +9,8 @@
 // flush). Results go to stdout and to a machine-readable
 // BENCH_delayed_update.json (schema qmcxx-bench-v1): per delay factor
 // the sweep time, updates/s and the speedup over the rank-1 window.
-#include <chrono>
-
 #include "bench/bench_common.h"
+#include "instrument/stopwatch.h"
 #include "numerics/linalg.h"
 #include "numerics/rng.h"
 #include "wavefunction/delayed_update.h"
@@ -48,7 +47,7 @@ double time_sweep(int n, int delay, int reps)
     Matrix<double> m = ainv_t; // fresh copy per repetition
     DelayedUpdateEngine<double> engine(n, delay);
     engine.attach(&m);
-    const auto t0 = std::chrono::steady_clock::now();
+    const Stopwatch sweep_watch;
     for (int k = 0; k < n; ++k)
     {
       for (int j = 0; j < n; ++j)
@@ -57,8 +56,7 @@ double time_sweep(int n, int delay, int reps)
       engine.accept(v.data(), k);
     }
     engine.flush();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    best = std::min(best, sweep_watch.seconds());
   }
   return best;
 }

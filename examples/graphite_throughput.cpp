@@ -9,7 +9,6 @@
 // figure of merit: MC samples generated per second. --delay R > 1
 // switches both engines to delayed (Woodbury) determinant updates with
 // a rank-R window (Sec. 8.4).
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 

@@ -1,8 +1,8 @@
 #include "concurrency/parallel_crowd_runner.h"
 
-#include <stdexcept>
-#include <string>
 #include <thread>
+
+#include "config/config.h"
 
 #include "instrument/timer.h"
 
@@ -11,10 +11,7 @@ namespace qmcxx
 
 int ParallelCrowdRunner::resolve_num_threads(int requested)
 {
-  if (requested < 0)
-    throw std::invalid_argument(
-        "ParallelCrowdRunner: num_threads must be >= 0 (0 = hardware), got " +
-        std::to_string(requested));
+  validate::at_least("ParallelCrowdRunner", "num_threads", requested, 0, "0 = hardware");
   if (requested > 0)
     return requested;
   const unsigned hw = std::thread::hardware_concurrency();

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace qmcxx
@@ -30,9 +31,17 @@ inline constexpr std::size_t QMC_SIMD_ALIGNMENT = 64;
 /// Index type used throughout (matches QMCPACK's choice of int).
 using IndexType = int;
 
+/// Full-precision real type for deliberate double-precision work inside
+/// code templated on the compute precision TR: accumulators, matrix
+/// inversions, Ewald phases, ratio/log-value bookkeeping (paper
+/// Sec. 7.2). Bare `double` locals in TR-templated code are rejected by
+/// tools/lint/qmcxx_lint.py (rule double-in-tr-template) so that every
+/// full-precision escape from TR is a named, grep-able decision.
+using FullPrecReal = double;
+
 /// Accumulation type: per-walker and ensemble quantities are always kept
 /// in double precision (paper Sec. 7.2).
-using AccumType = double;
+using AccumType = FullPrecReal;
 
 /// Position type of the *walker record* (serialization format). Note
 /// this is a storage type, not an information-content guarantee: the
@@ -63,6 +72,40 @@ inline const char* to_string(EngineVariant v)
   }
   return "unknown";
 }
+
+/// Unified run-shape validation. Degenerate crowd/delay/thread
+/// configurations (crowd_size <= 0, delay_rank < 1, num_threads < 0,
+/// ...) used to be rejected by per-site `throw std::invalid_argument`
+/// blocks scattered across the drivers and update engines; every
+/// construction-time check now funnels through these helpers so the
+/// bound, the hint and the message shape live in one place.
+namespace validate
+{
+
+/// Require an integral knob to be at least `min_allowed`.
+/// `context` names the constructing object ("DriverConfig", ...),
+/// `knob` the field, `hint` an optional clarification appended in
+/// parentheses (e.g. "0 = hardware").
+inline void at_least(const char* context, const char* knob, long long value,
+                     long long min_allowed, const char* hint = nullptr)
+{
+  if (value < min_allowed)
+    throw std::invalid_argument(std::string(context) + ": " + knob + " must be >= " +
+                                std::to_string(min_allowed) +
+                                (hint ? std::string(" (") + hint + ")" : std::string()) +
+                                ", got " + std::to_string(value));
+}
+
+/// Require a real-valued knob to be strictly positive. Written as
+/// !(value > 0) so NaN is rejected too.
+inline void positive(const char* context, const char* knob, double value)
+{
+  if (!(value > 0.0))
+    throw std::invalid_argument(std::string(context) + ": " + knob + " must be > 0, got " +
+                                std::to_string(value));
+}
+
+} // namespace validate
 
 /// Round n up to a multiple of the SIMD alignment in elements of T.
 /// SoA containers pad each component row to this size so that every row

@@ -23,6 +23,11 @@ template<typename T, std::size_t ALIGN = QMC_SIMD_ALIGNMENT>
 class AlignedAllocator
 {
 public:
+  static_assert(ALIGN != 0 && (ALIGN & (ALIGN - 1)) == 0,
+                "alignment must be a power of two (operator new requirement)");
+  static_assert(ALIGN >= alignof(T),
+                "alignment must not be weaker than the element's natural alignment");
+
   using value_type = T;
   static constexpr std::align_val_t alignment{ALIGN};
 
@@ -37,7 +42,7 @@ public:
     using other = AlignedAllocator<U, ALIGN>;
   };
 
-  T* allocate(std::size_t n)
+  [[nodiscard]] T* allocate(std::size_t n)
   {
     if (n == 0)
       n = 1;

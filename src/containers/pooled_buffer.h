@@ -13,6 +13,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstring>
+#include <type_traits>
 
 #include "containers/aligned_allocator.h"
 
@@ -27,6 +28,8 @@ public:
   template<typename T>
   std::size_t reserve(std::size_t n)
   {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PooledBuffer streams raw bytes; T must be trivially copyable");
     const std::size_t offset = align(data_.size(), alignof(T));
     data_.resize(offset + n * sizeof(T));
     return offset;
@@ -39,6 +42,8 @@ public:
   template<typename T>
   void put(const T* v, std::size_t n)
   {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PooledBuffer streams raw bytes; T must be trivially copyable");
     cursor_ = align(cursor_, alignof(T));
     assert(cursor_ + n * sizeof(T) <= data_.size());
     std::memcpy(data_.data() + cursor_, v, n * sizeof(T));
@@ -55,6 +60,8 @@ public:
   template<typename T>
   void get(T* v, std::size_t n)
   {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PooledBuffer streams raw bytes; T must be trivially copyable");
     cursor_ = align(cursor_, alignof(T));
     assert(cursor_ + n * sizeof(T) <= data_.size());
     std::memcpy(v, data_.data() + cursor_, n * sizeof(T));
@@ -67,8 +74,8 @@ public:
     get(&v, 1);
   }
 
-  std::size_t size() const { return data_.size(); }
-  std::size_t cursor() const { return cursor_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
 
   /// Raw byte view, for bit-exact round-trip checks and cross-rank
   /// shipping. The layout is only meaningful to the components that

@@ -21,13 +21,13 @@
 #ifndef QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 #define QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
 #include "concurrency/rng_streams.h"
 #include "drivers/qmc_drivers.h"
+#include "instrument/stopwatch.h"
 
 namespace qmcxx
 {
@@ -47,23 +47,12 @@ inline TinyVector<double, 3> limited_drift(const TinyVector<double, 3>& grad, do
 
 inline void validate_config(const DriverConfig& c)
 {
-  if (!(c.tau > 0.0))
-    throw std::invalid_argument("DriverConfig: tau must be > 0, got " + std::to_string(c.tau));
-  if (c.num_walkers <= 0)
-    throw std::invalid_argument("DriverConfig: num_walkers must be > 0, got " +
-                                std::to_string(c.num_walkers));
-  if (c.steps < 0)
-    throw std::invalid_argument("DriverConfig: steps must be >= 0, got " +
-                                std::to_string(c.steps));
-  if (c.crowd_size <= 0)
-    throw std::invalid_argument("DriverConfig: crowd_size must be > 0, got " +
-                                std::to_string(c.crowd_size));
-  if (c.num_threads < 0)
-    throw std::invalid_argument("DriverConfig: num_threads must be >= 0 (0 = hardware), got " +
-                                std::to_string(c.num_threads));
-  if (c.delay_rank < 1)
-    throw std::invalid_argument("DriverConfig: delay_rank must be >= 1 (1 = rank-1 updates), got " +
-                                std::to_string(c.delay_rank));
+  validate::positive("DriverConfig", "tau", c.tau);
+  validate::at_least("DriverConfig", "num_walkers", c.num_walkers, 1);
+  validate::at_least("DriverConfig", "steps", c.steps, 0);
+  validate::at_least("DriverConfig", "crowd_size", c.crowd_size, 1);
+  validate::at_least("DriverConfig", "num_threads", c.num_threads, 0, "0 = hardware");
+  validate::at_least("DriverConfig", "delay_rank", c.delay_rank, 1, "1 = rank-1 updates");
 }
 
 /// Weighted Welford/West accumulator for the population statistics.
@@ -170,8 +159,8 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
 {
   ParticleSet<TR>& p = ctx.crowd->elec(0);
   TrialWaveFunction<TR>& twf = ctx.crowd->twf(0);
-  const double tau = config_.tau;
-  const double sqrt_tau = std::sqrt(tau);
+  const FullPrecReal tau = config_.tau;
+  const FullPrecReal sqrt_tau = std::sqrt(tau);
   const int n = p.size();
 
   p.load_walker(w);
@@ -193,13 +182,13 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
     const TinyVector<double, 3> rnew = p.pos(k) + drift + chi;
     p.make_move(k, rnew);
     TinyVector<double, 3> grad_new{};
-    const double ratio = twf.calc_ratio_grad(p, k, grad_new);
+    const FullPrecReal ratio = twf.calc_ratio_grad(p, k, grad_new);
     ++out.proposed;
 
     bool accept = false;
     if (std::isfinite(ratio) && ratio > 0.0) // fixed-node: reject node crossings
     {
-      double log_gf = 0.0;
+      FullPrecReal log_gf = 0.0;
       if (config_.use_drift)
       {
         // Green-function ratio G(R'->R)/G(R->R') for drift-diffusion.
@@ -208,7 +197,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
         const TinyVector<double, 3> fwd = chi;                        // R' - R - D(R)
         log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
       }
-      const double prob = ratio * ratio * std::exp(log_gf);
+      const FullPrecReal prob = ratio * ratio * std::exp(log_gf);
       accept = rng.uniform() < prob;
     }
     if (accept)
@@ -239,8 +228,8 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
 {
   Crowd<TR>& crowd = *ctx.crowd;
   crowd.acquire(&pop_.walkers[first], &pop_.rngs[first], n, recompute);
-  const double tau = config_.tau;
-  const double sqrt_tau = std::sqrt(tau);
+  const FullPrecReal tau = config_.tau;
+  const FullPrecReal sqrt_tau = std::sqrt(tau);
   const int nel = crowd.elec(0).size();
 
   SweepOutcome out;
@@ -266,7 +255,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
       // Per-walker draws in the same order as the scalar sweep, so the
       // chains are identical at every crowd size.
       RandomGenerator& rng = crowd.rng(iw);
-      const double g0 = rng.gaussian(), g1 = rng.gaussian(), g2 = rng.gaussian();
+      const FullPrecReal g0 = rng.gaussian(), g1 = rng.gaussian(), g2 = rng.gaussian();
       crowd.chi[iw] = TinyVector<double, 3>{sqrt_tau * g0, sqrt_tau * g1, sqrt_tau * g2};
       crowd.rnew[iw] = crowd.elec(iw).pos(k) + crowd.drift[iw] + crowd.chi[iw];
     }
@@ -275,12 +264,12 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
                                          crowd.grads, crowd.resources());
     for (int iw = 0; iw < n; ++iw)
     {
-      const double ratio = crowd.ratios[iw];
+      const FullPrecReal ratio = crowd.ratios[iw];
       ++out.proposed;
       bool accept = false;
       if (std::isfinite(ratio) && ratio > 0.0) // fixed-node: reject node crossings
       {
-        double log_gf = 0.0;
+        FullPrecReal log_gf = 0.0;
         if (config_.use_drift)
         {
           const TinyVector<double, 3> drift_new = detail::limited_drift(crowd.grads[iw], tau);
@@ -289,7 +278,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
           const TinyVector<double, 3> fwd = crowd.chi[iw];      // R' - R - D(R)
           log_gf = -(dot(back, back) - dot(fwd, fwd)) / (2.0 * tau);
         }
-        const double prob = ratio * ratio * std::exp(log_gf);
+        const FullPrecReal prob = ratio * ratio * std::exp(log_gf);
         accept = crowd.rng(iw).uniform() < prob;
       }
       crowd.accept[iw] = accept ? 1 : 0;
@@ -345,7 +334,7 @@ template<typename TR>
 RunResult QMCDriver<TR>::run_vmc()
 {
   RunResult result;
-  const auto t0 = std::chrono::steady_clock::now();
+  const Stopwatch stopwatch;
   for (int gen = 0; gen < config_.steps; ++gen)
   {
     const bool recompute =
@@ -374,11 +363,10 @@ RunResult QMCDriver<TR>::run_vmc()
     result.generations.push_back(stats);
     result.total_samples += nw;
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
   // Post-warmup averages.
-  double e = 0, v = 0, a = 0;
+  FullPrecReal e = 0, v = 0, a = 0;
   int count = 0;
   for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
   {
@@ -401,13 +389,13 @@ RunResult QMCDriver<TR>::run_dmc()
 {
   RunResult result;
   // Initialize the trial energy from the current population.
-  double e0 = 0.0;
+  FullPrecReal e0 = 0.0;
   for (const auto& w : pop_.walkers)
     e0 += w->local_energy;
   trial_energy_ = e0 / pop_.size();
 
-  const double tau = config_.tau;
-  const auto t0 = std::chrono::steady_clock::now();
+  const FullPrecReal tau = config_.tau;
+  const Stopwatch stopwatch;
   for (int gen = 0; gen < config_.steps; ++gen)
   {
     const bool recompute =
@@ -428,8 +416,8 @@ RunResult QMCDriver<TR>::run_dmc()
     for (const auto& wp : pop_.walkers)
     {
       Walker& w = *wp;
-      const double e_mid = 0.5 * (w.local_energy + w.old_local_energy);
-      double branch_weight = std::exp(-tau * (e_mid - trial_energy_));
+      const FullPrecReal e_mid = 0.5 * (w.local_energy + w.old_local_energy);
+      FullPrecReal branch_weight = std::exp(-tau * (e_mid - trial_energy_));
       branch_weight = std::min(branch_weight, 2.5); // population-explosion guard
       w.weight *= branch_weight;
       acc.add(w.weight, w.local_energy);
@@ -451,10 +439,9 @@ RunResult QMCDriver<TR>::run_dmc()
     stats.trial_energy = trial_energy_;
     result.generations.push_back(stats);
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
-  double e = 0, v = 0, a = 0;
+  FullPrecReal e = 0, v = 0, a = 0;
   int count = 0;
   for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
   {

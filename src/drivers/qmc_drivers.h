@@ -134,7 +134,7 @@ private:
   {
     int accepted = 0;
     int proposed = 0;
-    double local_energy = 0.0;
+    FullPrecReal local_energy = 0.0;
   };
 
   /// One PbyP drift-diffusion sweep over all electrons of one walker,
@@ -163,7 +163,7 @@ private:
   DriverConfig config_;
   std::vector<CrowdContext<TR>> contexts_;
   WalkerPopulation pop_;
-  double trial_energy_ = 0.0;
+  FullPrecReal trial_energy_ = 0.0;
   RandomGenerator branch_rng_;
   std::unique_ptr<ParallelCrowdRunner> runner_;
 };

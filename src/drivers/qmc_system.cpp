@@ -1,9 +1,9 @@
 #include "drivers/qmc_system.h"
 
-#include <chrono>
 
 #include "drivers/qmc_drivers.h"
 #include "instrument/memory_tracker.h"
+#include "instrument/stopwatch.h"
 #include "workloads/system_builder.h"
 
 namespace qmcxx
@@ -19,7 +19,7 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   mt.clearTags();
   const std::size_t mem0 = mt.current();
 
-  const auto t_build0 = std::chrono::steady_clock::now();
+  const Stopwatch build_watch;
   const WorkloadInfo& info = workload_info(spec.workload);
   BuildOptions opt;
   opt.soa_layout = soa_layout;
@@ -32,10 +32,10 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
     MemoryScope scope("walker-buffers");
     driver.initialize_population();
   }
-  const auto t_build1 = std::chrono::steady_clock::now();
+  const FullPrecReal build_seconds = build_watch.seconds();
 
   EngineReport report;
-  report.build_seconds = std::chrono::duration<double>(t_build1 - t_build0).count();
+  report.build_seconds = build_seconds;
   report.footprint_bytes = mt.current() - mem0;
   report.spline_bytes = sys.spos->table_bytes();
   report.walker_bytes = driver.population().byte_size();

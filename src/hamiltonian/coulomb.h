@@ -13,11 +13,11 @@
 // passes one), the real-space pair sums consume the committed
 // unit-stride table rows -- the same minimum-image distances the rest
 // of the engine uses -- so the erfc loops vectorize and no AoS position
-// vector is rebuilt per measurement. Only the reciprocal-space phase
-// tables still need AoS positions, served by the ParticleSet's
-// scatter-on-demand compat view. Without a table index (standalone unit
-// tests) the components fall back to the pure position-based EwaldSum
-// entry points.
+// vector is rebuilt per measurement. The reciprocal-space phase tables
+// consume the canonical SoA component rows through EwaldSum::SoaPosView
+// (bitwise-identical to the former scatter-on-demand path). Without a
+// table index (standalone unit tests) the components fall back to the
+// pure position-based EwaldSum entry points.
 #ifndef QMCXX_HAMILTONIAN_COULOMB_H
 #define QMCXX_HAMILTONIAN_COULOMB_H
 
@@ -30,6 +30,16 @@
 
 namespace qmcxx
 {
+
+/// SoA view of a particle set's canonical position rows, for the Ewald
+/// k-space sums: reads Rsoa() component pointers directly, no AoS
+/// scatter.
+template<typename TR>
+inline SoaPosView soa_view(const ParticleSet<TR>& p)
+{
+  const auto& rs = p.Rsoa();
+  return SoaPosView(rs.data(0), rs.data(1), rs.data(2), static_cast<std::size_t>(p.size()));
+}
 
 template<typename TR>
 class CoulombEE : public HamiltonianComponent<TR>
@@ -51,22 +61,27 @@ public:
     if (charges_.size() != static_cast<std::size_t>(n))
       charges_.assign(n, -1.0);
     if (table_ee_ < 0)
+    {
+      // Standalone fallback without a distance table (unit tests): the
+      // AoS scatter is off the driver hot path by construction.
+      // qmcxx-lint: allow(aos-in-hot-path)
       return ewald_->energy(p.positions(), charges_);
+    }
     // Real-space pair sum over the committed AA rows: every electron
     // pair carries q_i q_j = 1, each row is unit-stride (Sec. 7.4).
     const auto& dt = p.table(table_ee_);
     const EwaldSum& ew = *ewald_;
-    double e_real = 0.0;
+    FullPrecReal e_real = 0.0;
     for (int i = 1; i < n; ++i)
     {
       const TR* __restrict d = dt.row_distances(i);
-      double acc = 0.0;
+      FullPrecReal acc = 0.0;
 #pragma omp simd reduction(+ : acc)
       for (int j = 0; j < i; ++j)
         acc += ew.real_space_term(static_cast<double>(d[j]));
       e_real += acc;
     }
-    return e_real + ewald_->kspace_energy(p.positions(), charges_) +
+    return e_real + ewald_->kspace_energy(soa_view(p), charges_) +
         ewald_->self_background(charges_);
   }
 
@@ -93,6 +108,8 @@ public:
     std::vector<double> q(ions.size());
     for (int i = 0; i < ions.size(); ++i)
       q[i] = ions.species(ions.group_id(i)).charge;
+    // Construction-time one-shot over the fixed ions: not a hot path.
+    // qmcxx-lint: allow(aos-in-hot-path)
     energy_ = ewald.energy(ions.positions(), q);
   }
 
@@ -104,7 +121,7 @@ public:
   }
 
 private:
-  double energy_;
+  FullPrecReal energy_;
 };
 
 template<typename TR>
@@ -118,6 +135,8 @@ public:
   CoulombEI(const ParticleSet<TR>& ions, const std::vector<double>& r_core, int table_ei = -1)
       : ewald_(std::make_shared<EwaldSum>(ions.lattice())),
         table_ei_(table_ei),
+        // Construction-time ion snapshot (ions never move).
+        // qmcxx-lint: allow(aos-in-hot-path)
         ion_pos_(ions.positions())
   {
     ion_charge_.resize(ions.size());
@@ -150,15 +169,15 @@ public:
     const int m = static_cast<int>(ion_pos_.size());
     const double* __restrict zq = ion_charge_.data();
     const double* __restrict rc = ion_rc_.data();
-    double e_real = 0.0, e_core = 0.0;
+    FullPrecReal e_real = 0.0, e_core = 0.0;
     for (int i = 0; i < n; ++i)
     {
       const TR* __restrict d = dt.row_distances(i);
-      double acc_real = 0.0, acc_core = 0.0;
+      FullPrecReal acc_real = 0.0, acc_core = 0.0;
 #pragma omp simd reduction(+ : acc_real, acc_core)
       for (int a = 0; a < m; ++a)
       {
-        const double r = static_cast<double>(d[a]);
+        const FullPrecReal r = static_cast<double>(d[a]);
         // q_e q_I = -Z_a for the point-charge Ewald part; the core
         // correction adds +Z_a erfc(r/rc)/r near each regularized ion.
         acc_real += -zq[a] * ew.real_space_term(r);
@@ -167,8 +186,8 @@ public:
       e_real += acc_real;
       e_core += acc_core;
     }
-    return e_real + ewald_->interaction_kspace_cached(p.positions(), elec_charge_, *ion_factors_) +
-        e_core;
+    return e_real +
+        ewald_->interaction_kspace_cached(soa_view(p), elec_charge_, *ion_factors_) + e_core;
   }
 
   std::unique_ptr<HamiltonianComponent<TR>> clone() const override
@@ -180,20 +199,23 @@ private:
   /// Fallback for standalone construction without a distance table.
   double evaluate_from_positions(ParticleSet<TR>& p)
   {
+    // Standalone fallback without a distance table (unit tests): the
+    // AoS scatter is off the driver hot path by construction.
+    // qmcxx-lint: allow(aos-in-hot-path)
     const auto& r_elec = p.positions();
-    double e = ewald_->interaction_energy_cached(r_elec, elec_charge_, *ion_factors_);
+    FullPrecReal e = ewald_->interaction_energy_cached(r_elec, elec_charge_, *ion_factors_);
     // Short-range core correction: -Z/r -> -Z erf(r/rc)/r, i.e. add
     // +Z erfc(r/rc)/r for electrons near the core (charge of electron
     // is -1, so the pair term is -(-1) Z erfc/r).
     const Lattice& lat = p.lattice();
     for (std::size_t a = 0; a < ion_pos_.size(); ++a)
     {
-      const double rc = ion_rc_[a];
+      const FullPrecReal rc = ion_rc_[a];
       if (rc <= 0)
         continue;
       for (std::size_t i = 0; i < r_elec.size(); ++i)
       {
-        const double r = norm(lat.min_image(ion_pos_[a] - r_elec[i]));
+        const FullPrecReal r = norm(lat.min_image(ion_pos_[a] - r_elec[i]));
         if (r < 6.0 * rc)
           e += ion_charge_[a] * std::erfc(r / rc) / r;
       }

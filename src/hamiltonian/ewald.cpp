@@ -18,8 +18,8 @@ struct PhaseTables
   int m[3];
   std::vector<std::complex<double>> tab[3];
 
-  void build(const std::array<TinyVector<double, 3>, 3>& b, const int mm[3],
-             const std::vector<TinyVector<double, 3>>& r)
+  template<typename Positions>
+  void build(const std::array<TinyVector<double, 3>, 3>& b, const int mm[3], const Positions& r)
   {
     const std::size_t n = r.size();
     for (int axis = 0; axis < 3; ++axis)
@@ -103,19 +103,33 @@ double EwaldSum::energy(const std::vector<Pos>& r, const std::vector<double>& q)
   return e_real + kspace_energy(r, q) + self_background(q);
 }
 
-double EwaldSum::kspace_energy(const std::vector<Pos>& r, const std::vector<double>& q) const
+template<typename Positions>
+static double kspace_energy_impl(const Lattice& lattice, const int mmax[3],
+                                 const std::vector<std::array<int, 3>>& kindex,
+                                 const std::vector<double>& kfac, const Positions& r,
+                                 const std::vector<double>& q)
 {
   PhaseTables tables;
-  tables.build(lattice_.reciprocal_rows(), mmax_, r);
+  tables.build(lattice.reciprocal_rows(), mmax, r);
   double e_recip = 0.0;
-  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  for (std::size_t kk = 0; kk < kindex.size(); ++kk)
   {
     std::complex<double> rho(0.0, 0.0);
     for (std::size_t i = 0; i < r.size(); ++i)
-      rho += q[i] * tables.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
-    e_recip += kfac_[kk] * std::norm(rho);
+      rho += q[i] * tables.phase(i, kindex[kk][0], kindex[kk][1], kindex[kk][2]);
+    e_recip += kfac[kk] * std::norm(rho);
   }
   return e_recip;
+}
+
+double EwaldSum::kspace_energy(const std::vector<Pos>& r, const std::vector<double>& q) const
+{
+  return kspace_energy_impl(lattice_, mmax_, kindex_, kfac_, r, q);
+}
+
+double EwaldSum::kspace_energy(const SoaPosView& r, const std::vector<double>& q) const
+{
+  return kspace_energy_impl(lattice_, mmax_, kindex_, kfac_, r, q);
 }
 
 double EwaldSum::self_background(const std::vector<double>& q) const
@@ -166,19 +180,23 @@ double EwaldSum::interaction_energy_cached(const std::vector<Pos>& ra,
   return e_real + interaction_kspace_cached(ra, qa, fixed);
 }
 
-double EwaldSum::interaction_kspace_cached(const std::vector<Pos>& ra,
-                                           const std::vector<double>& qa,
-                                           const FixedSetFactors& fixed) const
+template<typename Positions>
+static double interaction_kspace_cached_impl(const Lattice& lattice, double alpha,
+                                             const int mmax[3],
+                                             const std::vector<std::array<int, 3>>& kindex,
+                                             const std::vector<double>& kfac,
+                                             const Positions& ra, const std::vector<double>& qa,
+                                             const EwaldSum::FixedSetFactors& fixed)
 {
   PhaseTables ta;
-  ta.build(lattice_.reciprocal_rows(), mmax_, ra);
+  ta.build(lattice.reciprocal_rows(), mmax, ra);
   double e_recip = 0.0;
-  for (std::size_t kk = 0; kk < kindex_.size(); ++kk)
+  for (std::size_t kk = 0; kk < kindex.size(); ++kk)
   {
     std::complex<double> rho_a(0.0, 0.0);
     for (std::size_t i = 0; i < ra.size(); ++i)
-      rho_a += qa[i] * ta.phase(i, kindex_[kk][0], kindex_[kk][1], kindex_[kk][2]);
-    e_recip += kfac_[kk] * 2.0 *
+      rho_a += qa[i] * ta.phase(i, kindex[kk][0], kindex[kk][1], kindex[kk][2]);
+    e_recip += kfac[kk] * 2.0 *
         (rho_a.real() * fixed.rho_re[kk] + rho_a.imag() * fixed.rho_im[kk]);
   }
 
@@ -186,8 +204,21 @@ double EwaldSum::interaction_kspace_cached(const std::vector<Pos>& ra,
   for (double qi : qa)
     qa_sum += qi;
   const double e_background =
-      -M_PI / (lattice_.volume() * alpha_ * alpha_) * qa_sum * fixed.q_sum;
+      -M_PI / (lattice.volume() * alpha * alpha) * qa_sum * fixed.q_sum;
   return e_recip + e_background;
+}
+
+double EwaldSum::interaction_kspace_cached(const std::vector<Pos>& ra,
+                                           const std::vector<double>& qa,
+                                           const FixedSetFactors& fixed) const
+{
+  return interaction_kspace_cached_impl(lattice_, alpha_, mmax_, kindex_, kfac_, ra, qa, fixed);
+}
+
+double EwaldSum::interaction_kspace_cached(const SoaPosView& ra, const std::vector<double>& qa,
+                                           const FixedSetFactors& fixed) const
+{
+  return interaction_kspace_cached_impl(lattice_, alpha_, mmax_, kindex_, kfac_, ra, qa, fixed);
 }
 
 double EwaldSum::interaction_energy(const std::vector<Pos>& ra, const std::vector<double>& qa,

@@ -18,6 +18,44 @@
 namespace qmcxx
 {
 
+/// Read-only view of a position set stored as three SoA component rows
+/// (ParticleSet<TR>::Rsoa()). Components are widened to double per
+/// element exactly like ParticleSet::pos(), so feeding a view into the
+/// k-space sums is bitwise-identical to feeding the scatter-on-demand
+/// positions() copy -- without materializing that O(N) AoS vector on
+/// the per-energy-eval hot path (PR 3 layout contract).
+class SoaPosView
+{
+public:
+  using Pos = TinyVector<double, 3>;
+
+  SoaPosView(const double* xs, const double* ys, const double* zs, std::size_t n)
+      : dx_(xs), dy_(ys), dz_(zs), n_(n)
+  {}
+  SoaPosView(const float* xs, const float* ys, const float* zs, std::size_t n)
+      : fx_(xs), fy_(ys), fz_(zs), n_(n)
+  {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  Pos operator[](std::size_t i) const
+  {
+    if (dx_ != nullptr)
+      return Pos{dx_[i], dy_[i], dz_[i]};
+    return Pos{static_cast<double>(fx_[i]), static_cast<double>(fy_[i]),
+               static_cast<double>(fz_[i])};
+  }
+
+private:
+  const double* dx_ = nullptr;
+  const double* dy_ = nullptr;
+  const double* dz_ = nullptr;
+  const float* fx_ = nullptr;
+  const float* fy_ = nullptr;
+  const float* fz_ = nullptr;
+  std::size_t n_ = 0;
+};
+
 class EwaldSum
 {
 public:
@@ -47,6 +85,9 @@ public:
 
   /// Reciprocal-space part of energy() alone.
   double kspace_energy(const std::vector<Pos>& r, const std::vector<double>& q) const;
+
+  /// SoA-view overload of kspace_energy: same sum, no AoS scatter.
+  double kspace_energy(const SoaPosView& r, const std::vector<double>& q) const;
 
   /// Self-interaction and neutralizing-background corrections of
   /// energy() (positions-independent): -e_self + e_background.
@@ -79,6 +120,11 @@ public:
   /// alone; callers supply the real-space pair sum from distance-table
   /// rows via real_space_term().
   double interaction_kspace_cached(const std::vector<Pos>& ra, const std::vector<double>& qa,
+                                   const FixedSetFactors& fixed) const;
+
+  /// SoA-view overload of interaction_kspace_cached: same sum, no AoS
+  /// scatter of the per-call (electron) set.
+  double interaction_kspace_cached(const SoaPosView& ra, const std::vector<double>& qa,
                                    const FixedSetFactors& fixed) const;
 
 private:

@@ -71,7 +71,7 @@ public:
   /// mw_evaluate_gl).
   double evaluate_local(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf)
   {
-    double el = 0.0;
+    FullPrecReal el = 0.0;
     for (std::size_t i = 0; i < components_.size(); ++i)
     {
       last_values_[i] = components_[i]->evaluate(p, twf);

@@ -72,7 +72,12 @@ public:
     TR* __restrict rdx = rdx_.data();
     TR* __restrict rdy = rdy_.data();
     TR* __restrict rdz = rdz_.data();
-    double e_nl = 0.0;
+    // Canonical SoA component rows of the electron positions, read
+    // directly (one widen per electron, identical to the pos() gather).
+    const TR* __restrict ex = p.Rsoa().data(0);
+    const TR* __restrict ey = p.Rsoa().data(1);
+    const TR* __restrict ez = p.Rsoa().data(2);
+    FullPrecReal e_nl = 0.0;
     for (int i = 0; i < nel; ++i)
     {
       // One unit-stride row serves every ion's distance and quadrature
@@ -85,29 +90,30 @@ public:
         rdy[a] = row.dy[a];
         rdz[a] = row.dz[a];
       }
-      const Pos r_i = p.pos(i);
+      const Pos r_i{static_cast<double>(ex[i]), static_cast<double>(ey[i]),
+                    static_cast<double>(ez[i])};
       for (int a = 0; a < nion; ++a)
       {
         const NLChannel& ch = channels_[ion_species_[a]];
         if (ch.amplitude == 0.0)
           continue;
-        const double r = static_cast<double>(rd[a]);
+        const FullPrecReal r = static_cast<double>(rd[a]);
         if (r >= ch.rcut)
           continue;
         // Displacement from electron towards the (nearest image) ion.
         const Pos to_ion{static_cast<double>(rdx[a]), static_cast<double>(rdy[a]),
                          static_cast<double>(rdz[a])};
         const Pos e_hat = (-1.0 / r) * to_ion; // unit vector ion -> electron
-        const double v_r = ch.radial(r);
-        double angular = 0.0;
+        const FullPrecReal v_r = ch.radial(r);
+        FullPrecReal angular = 0.0;
         for (int q = 0; q < quad_.size(); ++q)
         {
           const Pos& n_q = quad_.points[q];
-          const double cos_theta = dot(e_hat, n_q);
+          const FullPrecReal cos_theta = dot(e_hat, n_q);
           // Virtual move: same radius r, new direction n_q about the ion.
           const Pos r_new = r_i + to_ion + r * n_q;
           p.make_move(i, r_new);
-          const double ratio = twf.calc_ratio(p, i);
+          const FullPrecReal ratio = twf.calc_ratio(p, i);
           p.reject_move(i);
           angular += quad_.weights[q] * legendre_p(ch.l, cos_theta) * ratio;
         }

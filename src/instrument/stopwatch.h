@@ -1,0 +1,40 @@
+// Wall-clock stopwatch: the sanctioned clock-read point for whole-run
+// timing outside the kernel TimerRegistry.
+//
+// PR 4 removed torn timer accumulation by funnelling every hot-path
+// clock read through thread-local ScopedTimer buckets; qmcxx-lint
+// (rule chrono-outside-instrument) keeps it that way by rejecting
+// direct std::chrono use outside src/instrument/. Code that needs a
+// plain elapsed-seconds measurement -- driver run loops, benchmark
+// harnesses -- uses this Stopwatch instead of rolling its own
+// steady_clock arithmetic.
+#ifndef QMCXX_INSTRUMENT_STOPWATCH_H
+#define QMCXX_INSTRUMENT_STOPWATCH_H
+
+#include <chrono>
+
+namespace qmcxx
+{
+
+class Stopwatch
+{
+public:
+  Stopwatch() : t0_(Clock::now()) {}
+
+  /// Re-arm the start point.
+  void restart() { t0_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const
+  {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0_;
+};
+
+} // namespace qmcxx
+
+#endif

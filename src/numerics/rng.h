@@ -37,7 +37,7 @@ public:
     have_gauss_ = false;
   }
 
-  std::uint64_t next()
+  [[nodiscard]] std::uint64_t next()
   {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
@@ -51,13 +51,13 @@ public:
   }
 
   /// Uniform in [0, 1).
-  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  [[nodiscard]] double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Standard normal via Box-Muller (pairs cached).
-  double gaussian()
+  [[nodiscard]] double gaussian()
   {
     if (have_gauss_)
     {
@@ -78,7 +78,7 @@ public:
   }
 
   /// 3D vector of independent standard normals (the diffusion kick).
-  TinyVector<double, 3> gaussian3()
+  [[nodiscard]] TinyVector<double, 3> gaussian3()
   {
     return {gaussian(), gaussian(), gaussian()};
   }
@@ -88,7 +88,7 @@ public:
   /// the first `2^64 mod n` buckets one output too heavy; here draws
   /// landing in the short low-product window are rejected instead, so
   /// every bucket receives exactly floor(2^64/n) or-rejected outputs.
-  std::uint64_t range(std::uint64_t n)
+  [[nodiscard]] std::uint64_t range(std::uint64_t n)
   {
     std::uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * n;

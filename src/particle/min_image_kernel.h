@@ -24,25 +24,25 @@ namespace qmcxx
 template<typename TR>
 struct MinImageKernel
 {
-  explicit MinImageKernel(const Lattice& lattice) : lattice(&lattice), ortho(lattice.orthorhombic())
+  explicit MinImageKernel(const Lattice& lat) : lattice(&lat), ortho(lat.orthorhombic())
   {
     for (unsigned d = 0; d < 3; ++d)
     {
-      L[d] = static_cast<TR>(lattice.rows()[d][d]);
+      L[d] = static_cast<TR>(lat.rows()[d][d]);
       Linv[d] = TR(1) / L[d];
     }
     // Reduced-coordinate transform rows: f_a = dot(ainv[a], dr).
     const TinyVector<double, 3> ex{1, 0, 0}, ey{0, 1, 0}, ez{0, 0, 1};
-    const auto ux = lattice.to_unit(ex);
-    const auto uy = lattice.to_unit(ey);
-    const auto uz = lattice.to_unit(ez);
+    const auto ux = lat.to_unit(ex);
+    const auto uy = lat.to_unit(ey);
+    const auto uz = lat.to_unit(ez);
     for (unsigned a = 0; a < 3; ++a)
     {
       ainv[a][0] = static_cast<TR>(ux[a]);
       ainv[a][1] = static_cast<TR>(uy[a]);
       ainv[a][2] = static_cast<TR>(uz[a]);
       for (unsigned d = 0; d < 3; ++d)
-        cell[a][d] = static_cast<TR>(lattice.rows()[a][d]);
+        cell[a][d] = static_cast<TR>(lat.rows()[a][d]);
     }
   }
 

@@ -10,6 +10,7 @@
 #define QMCXX_PARTICLE_WALKER_H
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "containers/pooled_buffer.h"
@@ -39,11 +40,20 @@ struct Walker
   std::uint64_t parent_id = 0;
   PooledBuffer buffer;    ///< anonymous per-walker wavefunction state
 
-  std::size_t byte_size() const
+  [[nodiscard]] std::size_t byte_size() const
   {
     return sizeof(Walker) + R.capacity() * sizeof(Pos) + buffer.size();
   }
 };
+
+// Binary walker serialization (checkpointing, cross-rank shipping;
+// ROADMAP item 3) memcpy's the position block and the bookkeeping
+// scalars verbatim. These asserts pin the layout assumptions that make
+// that safe; if one fires, the snapshot format must change with it.
+static_assert(std::is_trivially_copyable_v<Walker::Pos>,
+              "positions are shipped as raw bytes");
+static_assert(sizeof(Walker::Pos) == 3 * sizeof(double),
+              "Pos must pack three doubles with no padding");
 
 } // namespace qmcxx
 

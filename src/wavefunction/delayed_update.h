@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "config/config.h"
 #include "containers/matrix.h"
 #include "numerics/linalg.h"
 #include "wavefunction/dirac_determinant.h"
@@ -51,11 +52,8 @@ public:
   /// matrices (delay x n each) and S (delay x delay).
   DelayedUpdateEngine(int n, int delay) : n_(n)
   {
-    if (delay < 1)
-      throw std::invalid_argument("DelayedUpdateEngine: delay must be >= 1, got " +
-                                  std::to_string(delay));
-    if (n < 1)
-      throw std::invalid_argument("DelayedUpdateEngine: n must be >= 1, got " + std::to_string(n));
+    validate::at_least("DelayedUpdateEngine", "delay", delay, 1);
+    validate::at_least("DelayedUpdateEngine", "n", n, 1);
     delay_ = delay < n ? delay : n;
     u_.resize(delay_, n, /*pad_rows=*/true);
     x_.resize(delay_, n, /*pad_rows=*/true);
@@ -68,7 +66,7 @@ public:
   }
 
   void attach(Matrix<TR>* minv) { minv_ = minv; }
-  int pending() const { return static_cast<int>(ids_.size()); }
+  [[nodiscard]] int pending() const { return static_cast<int>(ids_.size()); }
   int delay() const { return delay_; }
 
   /// Drop pending bindings without applying them (used after a
@@ -98,7 +96,7 @@ public:
     refresh_small_inverse();
     for (int m = 0; m < d; ++m)
     {
-      double cm = 0.0;
+      FullPrecReal cm = 0.0;
       for (int l = 0; l < d; ++l)
         cm += sinv_(m, l) * y_[l];
       c_[m] = cm;
@@ -128,7 +126,7 @@ public:
 
   /// Effective ratio of replacing row i with orbital vector v, seen
   /// through all pending delayed updates.
-  double ratio(const TR* v, int i) const
+  [[nodiscard]] double ratio(const TR* v, int i) const
   {
     const TR* row = effective_row(i, row_scratch_.data());
     return static_cast<double>(linalg::dot_n(v, row, static_cast<std::size_t>(n_)));
@@ -221,7 +219,7 @@ private:
   /// kept at full precision even when TR is float (Sec. 7.2 spirit).
   static double dot_double(const TR* __restrict a, const TR* __restrict b, int n)
   {
-    double s = 0.0;
+    FullPrecReal s = 0.0;
 #pragma omp simd reduction(+ : s)
     for (int j = 0; j < n; ++j)
       s += static_cast<double>(a[j]) * static_cast<double>(b[j]);
@@ -238,7 +236,7 @@ private:
     for (int m = 0; m < d; ++m)
       for (int l = 0; l < d; ++l)
         s(m, l) = s_(m, l);
-    double logdet, sign;
+    FullPrecReal logdet, sign;
     linalg::invert_matrix(s, sinv_, logdet, sign);
     sinv_valid_ = true;
   }

@@ -92,13 +92,16 @@ public:
     Matrix<double> a(nel_, nel_);
     for (int i = 0; i < nel_; ++i)
     {
+      // Per-row gather in the from-scratch rebuild: recompute runs at
+      // the Sec. 7.2 cadence, off the per-move hot path.
+      // qmcxx-lint: allow(aos-in-hot-path)
       spos_->evaluate_vgl(p.pos(first_ + i), psiv_.data(), dpsiv_, d2psiv_.data());
       for (int j = 0; j < nel_; ++j)
         a(i, j) = static_cast<double>(psiv_[j]);
       copy_derivative_rows(i);
     }
     Matrix<double> ainv;
-    double logdet = 0, sign = 1;
+    FullPrecReal logdet = 0, sign = 1;
     linalg::invert_matrix(a, ainv, logdet, sign);
     for (int i = 0; i < nel_; ++i)
       for (int j = 0; j < nel_; ++j)
@@ -281,7 +284,7 @@ public:
         gz += dvz[j] * row[j];
         lap += d2v[j] * row[j];
       }
-      const double gxd = gx, gyd = gy, gzd = gz;
+      const FullPrecReal gxd = gx, gyd = gy, gzd = gz;
       g[first_ + i] += Grad{gxd, gyd, gzd};
       l[first_ + i] += static_cast<double>(lap) - (gxd * gxd + gyd * gyd + gzd * gzd);
     }
@@ -362,7 +365,7 @@ protected:
     ratio_out = static_cast<double>(rat);
     if (ratio_out != 0.0 && std::isfinite(ratio_out))
     {
-      const double inv_ratio = 1.0 / ratio_out;
+      const FullPrecReal inv_ratio = 1.0 / ratio_out;
       grad = Grad{static_cast<double>(gx) * inv_ratio, static_cast<double>(gy) * inv_ratio,
                   static_cast<double>(gz) * inv_ratio};
     }
@@ -417,12 +420,14 @@ protected:
     {
       if (i == kl)
         continue;
+      // Degenerate-ratio recovery rebuild, same off-hot-path cadence.
+      // qmcxx-lint: allow(aos-in-hot-path)
       spos_->evaluate_v(p.pos(first_ + i), psiv_.data());
       for (int j = 0; j < nel_; ++j)
         a(i, j) = static_cast<double>(psiv_[j]);
     }
     Matrix<double> ainv;
-    double logdet = 0, sign = 1;
+    FullPrecReal logdet = 0, sign = 1;
     linalg::invert_matrix(a, ainv, logdet, sign);
     for (int i = 0; i < nel_; ++i)
       for (int j = 0; j < nel_; ++j)
@@ -490,9 +495,9 @@ protected:
   Matrix<TR> d2psim_;                      // orbital laplacians at electrons
   aligned_vector<TR> psiv_, d2psiv_, workv_, rcopy_;
   VectorSoaContainer<TR, 3> dpsiv_;
-  double cur_ratio_ = 1.0;
+  FullPrecReal cur_ratio_ = 1.0;
   bool cur_vgl_valid_ = false;
-  double sign_ = 1.0;
+  FullPrecReal sign_ = 1.0;
   std::uint64_t updates_since_recompute_ = 0;
 };
 

@@ -115,7 +115,7 @@ public:
   {
     ScopedTimer timer(Kernel::J1);
     auto& dt = p.template table_as<AosDistanceTableAB<TR>>(this->table_index_);
-    double logval = 0.0;
+    FullPrecReal logval = 0.0;
     for (int i = 0; i < this->nel_; ++i)
     {
       for (int j = 0; j < this->nion_; ++j)
@@ -141,7 +141,7 @@ public:
     ScopedTimer timer(Kernel::J1);
     auto& dt = p.template table_as<AosDistanceTableAB<TR>>(this->table_index_);
     const TR* tr = dt.temp_r();
-    double delta = 0.0;
+    FullPrecReal delta = 0.0;
     for (int j = 0; j < this->nion_; ++j)
       delta += static_cast<double>(this->functor(this->ion_group_[j]).evaluate(tr[j])) -
           static_cast<double>(u_(k, j));
@@ -156,7 +156,7 @@ public:
     auto& dt = p.template table_as<AosDistanceTableAB<TR>>(this->table_index_);
     const TR* tr = dt.temp_r();
     const auto& tdr = dt.temp_dr();
-    double delta = 0.0;
+    FullPrecReal delta = 0.0;
     GradT gsum{};
     for (int j = 0; j < this->nion_; ++j)
     {
@@ -266,7 +266,7 @@ private:
   std::vector<GradT> gu_;
   std::vector<TR> cur_u_, cur_lu_;
   std::vector<GradT> cur_gu_;
-  double cur_delta_ = 0.0;
+  FullPrecReal cur_delta_ = 0.0;
   bool cur_valid_ = false;
 };
 
@@ -304,7 +304,7 @@ public:
   {
     ScopedTimer timer(Kernel::J1);
     const auto& dt = p.table(this->table_index_);
-    double logval = 0.0;
+    FullPrecReal logval = 0.0;
     for (int i = 0; i < this->nel_; ++i)
     {
       const DTRowView<TR> row = dt.row(i);
@@ -323,7 +323,7 @@ public:
   {
     ScopedTimer timer(Kernel::J1);
     const auto& dt = p.table(this->table_index_);
-    double unew = 0.0;
+    FullPrecReal unew = 0.0;
     for (int gI = 0; gI < static_cast<int>(this->functors_.size()); ++gI)
     {
       const int first = this->ion_first_[gI];

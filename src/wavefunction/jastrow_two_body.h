@@ -119,7 +119,7 @@ public:
     ScopedTimer timer(Kernel::J2);
     auto& dt = p.template table_as<AosDistanceTableAA<TR>>(this->table_index_);
     const int n = this->nel_;
-    double logval = 0.0;
+    FullPrecReal logval = 0.0;
     for (int i = 0; i < n; ++i)
     {
       u_(i, i) = TR(0);
@@ -153,7 +153,7 @@ public:
     ScopedTimer timer(Kernel::J2);
     auto& dt = p.template table_as<AosDistanceTableAA<TR>>(this->table_index_);
     const TR* tr = dt.temp_r();
-    double delta = 0.0; // u_new - u_old
+    FullPrecReal delta = 0.0; // u_new - u_old
     for (int j = 0; j < this->nel_; ++j)
     {
       if (j == k)
@@ -172,7 +172,7 @@ public:
     auto& dt = p.template table_as<AosDistanceTableAA<TR>>(this->table_index_);
     const TR* tr = dt.temp_r();
     const auto& tdr = dt.temp_dr();
-    double delta = 0.0;
+    FullPrecReal delta = 0.0;
     GradT gsum{};
     for (int j = 0; j < this->nel_; ++j)
     {
@@ -298,7 +298,7 @@ private:
   std::vector<GradT> gu_;
   std::vector<TR> cur_u_, cur_lu_;
   std::vector<GradT> cur_gu_;
-  double cur_delta_ = 0.0;
+  FullPrecReal cur_delta_ = 0.0;
   bool cur_valid_ = false;
 };
 
@@ -338,7 +338,7 @@ public:
     ScopedTimer timer(Kernel::J2);
     const auto& dt = p.table(this->table_index_);
     const int n = this->nel_;
-    double logval = 0.0;
+    FullPrecReal logval = 0.0;
     for (int i = 0; i < n; ++i)
     {
       const DTRowView<TR> row = dt.row(i);
@@ -372,7 +372,7 @@ public:
   {
     ScopedTimer timer(Kernel::J2);
     const auto& dt = p.table(this->table_index_);
-    const double unew = sum_u(p, dt.temp_r(), k);
+    const FullPrecReal unew = sum_u(p, dt.temp_r(), k);
     cur_valid_ = false;
     return std::exp(static_cast<double>(uat_[k]) - unew);
   }
@@ -526,7 +526,7 @@ private:
   double sum_u(const ParticleSet<TR>& p, const TR* dist, int k) const
   {
     const int gk = p.group_id(k);
-    double s = 0.0;
+    FullPrecReal s = 0.0;
     for (int g2 = 0; g2 < this->ngroups_; ++g2)
     {
       const int first = p.first(g2);
@@ -552,7 +552,7 @@ private:
   VectorSoaContainer<TR, 3> duat_;
   aligned_vector<TR> cur_u_, cur_dur_, cur_d2u_;
   aligned_vector<TR> old_u_, old_dur_, old_d2u_;
-  double cur_unew_ = 0.0;
+  FullPrecReal cur_unew_ = 0.0;
   bool cur_valid_ = false;
 };
 

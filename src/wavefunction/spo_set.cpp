@@ -67,21 +67,21 @@ void fill_synthetic_orbitals(Backend& backend, int nx, int ny, int nz, int num_o
     // Two weak random satellite modes keep orbitals anharmonic.
     const auto k1 = kvecs[1 + static_cast<int>(rng.range(kvecs.size() - 1))];
     const auto k2 = kvecs[1 + static_cast<int>(rng.range(kvecs.size() - 1))];
-    const double a1 = 0.2 * (rng.uniform() - 0.5);
-    const double a2 = 0.2 * (rng.uniform() - 0.5);
-    const double p1 = rng.uniform(0, 2 * M_PI);
-    const double p2 = rng.uniform(0, 2 * M_PI);
+    const FullPrecReal a1 = 0.2 * (rng.uniform() - 0.5);
+    const FullPrecReal a2 = 0.2 * (rng.uniform() - 0.5);
+    const FullPrecReal p1 = rng.uniform(0, 2 * M_PI);
+    const FullPrecReal p2 = rng.uniform(0, 2 * M_PI);
 
-    const double twopi = 2.0 * M_PI;
+    const FullPrecReal twopi = 2.0 * M_PI;
     for (int ix = 0; ix < nx; ++ix)
       for (int iy = 0; iy < ny; ++iy)
         for (int iz = 0; iz < nz; ++iz)
         {
-          const double ux = static_cast<double>(ix) / nx;
-          const double uy = static_cast<double>(iy) / ny;
-          const double uz = static_cast<double>(iz) / nz;
-          const double ph = twopi * (kp[0] * ux + kp[1] * uy + kp[2] * uz);
-          double v = use_sin ? std::sin(ph) : std::cos(ph);
+          const FullPrecReal ux = static_cast<double>(ix) / nx;
+          const FullPrecReal uy = static_cast<double>(iy) / ny;
+          const FullPrecReal uz = static_cast<double>(iz) / nz;
+          const FullPrecReal ph = twopi * (kp[0] * ux + kp[1] * uy + kp[2] * uz);
+          FullPrecReal v = use_sin ? std::sin(ph) : std::cos(ph);
           v += a1 * std::cos(twopi * (k1[0] * ux + k1[1] * uy + k1[2] * uz) + p1);
           v += a2 * std::cos(twopi * (k2[0] * ux + k2[1] * uy + k2[2] * uz) + p2);
           at(ix, iy, iz) = v;

@@ -72,18 +72,20 @@ public:
   }
 
   /// Value-only ratio for the proposed move (NLPP path).
-  double calc_ratio(ParticleSet<TR>& p, int k)
+  [[nodiscard]] double calc_ratio(ParticleSet<TR>& p, int k)
   {
-    double r = 1.0;
+    FullPrecReal r = 1.0;
     for (auto& c : components_)
       r *= c->ratio(p, k);
     return r;
   }
 
-  /// Ratio and gradient of log psi at the proposed position.
+  /// Ratio and gradient of log psi at the proposed position. Not
+  /// [[nodiscard]]: callers may invoke it purely to stage component
+  /// state for accept_move (the ratio is a by-product there).
   double calc_ratio_grad(ParticleSet<TR>& p, int k, Grad& grad)
   {
-    double r = 1.0;
+    FullPrecReal r = 1.0;
     grad = Grad{};
     for (auto& c : components_)
     {
@@ -125,9 +127,9 @@ public:
 
   /// Sum of component log values: stays current through accepted moves
   /// (each component maintains its own log under the PbyP protocol).
-  double log_value() const
+  [[nodiscard]] double log_value() const
   {
-    double s = 0.0;
+    FullPrecReal s = 0.0;
     for (const auto& c : components_)
       s += c->log_value();
     return s;
@@ -138,7 +140,7 @@ public:
   /// Kinetic energy -1/2 sum_i (L_i + |G_i|^2) from the accumulators.
   double kinetic_energy() const
   {
-    double ke = 0.0;
+    FullPrecReal ke = 0.0;
     for (std::size_t i = 0; i < l_.size(); ++i)
       ke += l_[i] + dot(g_[i], g_[i]);
     return -0.5 * ke;
@@ -309,7 +311,7 @@ private:
   std::vector<std::unique_ptr<WaveFunctionComponent<TR>>> components_;
   std::vector<Grad> g_;
   std::vector<double> l_;
-  double log_value_ = 0.0;
+  FullPrecReal log_value_ = 0.0;
 };
 
 } // namespace qmcxx

@@ -43,13 +43,13 @@ public:
 
   /// Value-only ratio psi(R')/psi(R) for the proposed move of particle k
   /// (used by the non-local pseudopotential, Sec. 3).
-  virtual double ratio(ParticleSet<TR>& p, int k) = 0;
+  [[nodiscard]] virtual double ratio(ParticleSet<TR>& p, int k) = 0;
 
   /// Ratio plus gradient of log psi at the proposed position.
   virtual double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) = 0;
 
   /// Gradient of log psi at the current position of particle k (drift).
-  virtual Grad eval_grad(ParticleSet<TR>& p, int k) = 0;
+  [[nodiscard]] virtual Grad eval_grad(ParticleSet<TR>& p, int k) = 0;
 
   virtual void accept_move(ParticleSet<TR>& p, int k) = 0;
   virtual void reject_move(int k) = 0;
@@ -134,10 +134,10 @@ public:
       wfc_list[iw].get().evaluate_gl(p_list[iw].get(), g_list[iw].get(), l_list[iw].get());
   }
 
-  double log_value() const { return log_value_; }
+  [[nodiscard]] double log_value() const { return log_value_; }
 
 protected:
-  double log_value_ = 0.0;
+  FullPrecReal log_value_ = 0.0;
 };
 
 } // namespace qmcxx

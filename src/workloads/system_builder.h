@@ -131,8 +131,8 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   {
     MemoryScope scope("wf-state");
     sys.twf = std::make_unique<TrialWaveFunction<TR>>(n);
-    const double rw = info.lattice.wigner_seitz_radius();
-    const double rc_j2 = 0.99 * rw;
+    const FullPrecReal rw = info.lattice.wigner_seitz_radius();
+    const FullPrecReal rc_j2 = 0.99 * rw;
     auto f_uu = std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
         ee_jastrow_shape(-0.25, rc_j2), -0.25, rc_j2, opt.jastrow_knots));
     auto f_ud = std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
@@ -148,7 +148,7 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
       for (std::size_t s = 0; s < info.species.size(); ++s)
       {
         const auto& sp = info.species[s];
-        const double rc = std::min(rw * 0.99, 4.5);
+        const FullPrecReal rc = std::min(rw * 0.99, 4.5);
         j1->add_functor(static_cast<int>(s),
                         std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
                             ei_jastrow_shape(sp.j1_depth, sp.j1_width, rc), 0.0, rc,
@@ -167,7 +167,7 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
       for (std::size_t s = 0; s < info.species.size(); ++s)
       {
         const auto& sp = info.species[s];
-        const double rc = std::min(rw * 0.99, 4.5);
+        const FullPrecReal rc = std::min(rw * 0.99, 4.5);
         j1->add_functor(static_cast<int>(s),
                         std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
                             ei_jastrow_shape(sp.j1_depth, sp.j1_width, rc), 0.0, rc,

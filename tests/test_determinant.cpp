@@ -87,12 +87,12 @@ double inverse_residual(SPOSet<TR>& spos, const ParticleSet<TR>& p,
       a(i, j) = static_cast<double>(psi[j]);
   }
   const auto& minv = det.inverse_transposed();
-  double maxerr = 0;
+  FullPrecReal maxerr = 0;
   // (A * A^-1)(i,j) = sum_k A(i,k) minv(j,k).
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j)
     {
-      double sum = 0;
+      FullPrecReal sum = 0;
       for (int k = 0; k < n; ++k)
         sum += a(i, k) * static_cast<double>(minv(j, k));
       maxerr = std::max(maxerr, std::abs(sum - (i == j ? 1.0 : 0.0)));

@@ -162,10 +162,10 @@ INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAA,
                          ::testing::Values(TableCase{false, DTUpdateMode::OnTheFly},
                                            TableCase{true, DTUpdateMode::ForwardUpdate},
                                            TableCase{true, DTUpdateMode::OnTheFly}),
-                         [](const ::testing::TestParamInfo<TableCase>& info) {
-                           if (!info.param.soa)
+                         [](const ::testing::TestParamInfo<TableCase>& pinfo) {
+                           if (!pinfo.param.soa)
                              return std::string("AosPackedTriangle");
-                           return info.param.mode == DTUpdateMode::ForwardUpdate
+                           return pinfo.param.mode == DTUpdateMode::ForwardUpdate
                                ? std::string("SoaForwardUpdate")
                                : std::string("SoaOnTheFly");
                          });
@@ -266,8 +266,8 @@ TEST_P(DistanceTableAB, MoveAndUpdateCommitRow)
 }
 
 INSTANTIATE_TEST_SUITE_P(Layouts, DistanceTableAB, ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? std::string("Soa") : std::string("Aos");
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? std::string("Soa") : std::string("Aos");
                          });
 
 TEST(DistanceTableMixedPrecision, FloatTablesTrackDouble)

@@ -107,8 +107,8 @@ TEST_P(MixedPrecisionSweep, GradientsTrackDouble)
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, MixedPrecisionSweep, ::testing::Values(2, 4, 8),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "ions" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<int>& pinfo) {
+                           return "ions" + std::to_string(pinfo.param);
                          });
 
 TEST(MixedPrecision, AccumulationsAreAlwaysDouble)

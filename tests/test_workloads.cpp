@@ -68,15 +68,17 @@ TEST_P(WorkloadTable1, JastrowCutoffsFitTheCell)
   {
     EXPECT_GT(sp.j1_width, 0);
     if (sp.nl_amplitude != 0)
+    {
       EXPECT_LT(sp.nl_rcut, w.lattice.wigner_seitz_radius());
+    }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTable1,
                          ::testing::Values(Workload::Graphite, Workload::Be64, Workload::NiO32,
                                            Workload::NiO64),
-                         [](const ::testing::TestParamInfo<Workload>& info) {
-                           switch (info.param)
+                         [](const ::testing::TestParamInfo<Workload>& pinfo) {
+                           switch (pinfo.param)
                            {
                            case Workload::Graphite: return std::string("Graphite");
                            case Workload::Be64: return std::string("Be64");

@@ -75,12 +75,26 @@ public:
   }
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
+  /// Bytes actually held by the backing store (>= size()); the honest
+  /// number for per-walker memory budgeting (Walker::byte_size).
+  [[nodiscard]] std::size_t capacity() const { return data_.capacity(); }
   [[nodiscard]] std::size_t cursor() const { return cursor_; }
 
   /// Raw byte view, for bit-exact round-trip checks and cross-rank
   /// shipping. The layout is only meaningful to the components that
   /// registered it, in registration order.
   const char* data() const { return data_.data(); }
+
+  /// Replace the whole contents with raw bytes (snapshot restore,
+  /// cross-rank shipping). The byte stream must come from a buffer
+  /// registered by an identically composed wavefunction -- the
+  /// workload fingerprint in qmcxx-snap-v1 headers guards exactly this.
+  void assign(const char* bytes, std::size_t n)
+  {
+    data_.assign(bytes, bytes + n);
+    cursor_ = 0;
+  }
+
   void clear()
   {
     data_.clear();

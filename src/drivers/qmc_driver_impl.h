@@ -21,6 +21,7 @@
 #ifndef QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 #define QMCXX_DRIVERS_QMC_DRIVER_IMPL_H
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -53,6 +54,10 @@ inline void validate_config(const DriverConfig& c)
   validate::at_least("DriverConfig", "crowd_size", c.crowd_size, 1);
   validate::at_least("DriverConfig", "num_threads", c.num_threads, 0, "0 = hardware");
   validate::at_least("DriverConfig", "delay_rank", c.delay_rank, 1, "1 = rank-1 updates");
+  validate::at_least("DriverConfig", "checkpoint_every", c.checkpoint_every, 0, "0 = disabled");
+  if (c.checkpoint_every > 0 && c.checkpoint_path.empty())
+    throw std::invalid_argument(
+        "DriverConfig: checkpoint_every > 0 requires a checkpoint_path");
 }
 
 /// Weighted Welford/West accumulator for the population statistics.
@@ -150,6 +155,120 @@ void QMCDriver<TR>::initialize_population()
     pop_.walkers.push_back(std::move(w));
     pop_.rngs.push_back(rng);
   }
+}
+
+template<typename TR>
+io::PopulationSnapshot QMCDriver<TR>::capture_snapshot(int next_generation, io::ChainKind kind,
+                                                       bool store_buffers) const
+{
+  io::PopulationSnapshot snap;
+  snap.precision_bytes = sizeof(TR);
+  snap.workload_fingerprint = config_.checkpoint_fingerprint;
+  snap.kind = kind;
+  snap.buffers_stored = store_buffers;
+  snap.generation = static_cast<std::uint64_t>(next_generation);
+  snap.master_seed = config_.seed;
+  snap.tau = config_.tau;
+  snap.trial_energy = trial_energy_;
+  snap.branch_rng = branch_rng_.save_state();
+  snap.num_particles = static_cast<std::uint64_t>(elec_proto_.size());
+  snap.walkers.reserve(pop_.walkers.size());
+  for (std::size_t iw = 0; iw < pop_.walkers.size(); ++iw)
+  {
+    const Walker& w = *pop_.walkers[iw];
+    io::WalkerSnapshot ws;
+    ws.id = w.id;
+    ws.parent_id = w.parent_id;
+    ws.weight = w.weight;
+    ws.multiplicity = w.multiplicity;
+    ws.local_energy = w.local_energy;
+    ws.old_local_energy = w.old_local_energy;
+    ws.log_psi = w.log_psi;
+    ws.age = w.age;
+    ws.rng = pop_.rngs[iw].save_state();
+    ws.R = w.R;
+    if (store_buffers)
+      ws.buffer.assign(w.buffer.data(), w.buffer.data() + w.buffer.size());
+    snap.walkers.push_back(std::move(ws));
+  }
+  return snap;
+}
+
+template<typename TR>
+void QMCDriver<TR>::restore_snapshot(const io::PopulationSnapshot& snap)
+{
+  io::SnapshotExpectation expect;
+  expect.precision_bytes = sizeof(TR);
+  expect.fingerprint = config_.checkpoint_fingerprint;
+  expect.master_seed = config_.seed;
+  expect.tau = config_.tau;
+  expect.num_particles = static_cast<std::uint64_t>(elec_proto_.size());
+  io::validate_compatible(snap, expect);
+
+  // Build the full replacement population before touching pop_: any
+  // throw below this point must leave the driver exactly as it was
+  // (strong guarantee), so a failed load can be retried or reported
+  // without a half-restored chain.
+  std::vector<std::unique_ptr<Walker>> walkers;
+  std::vector<RandomGenerator> rngs;
+  walkers.reserve(snap.walkers.size());
+  rngs.reserve(snap.walkers.size());
+  for (const io::WalkerSnapshot& ws : snap.walkers)
+  {
+    auto w = std::make_unique<Walker>(elec_proto_.size());
+    w->R = ws.R;
+    w->weight = ws.weight;
+    w->multiplicity = ws.multiplicity;
+    w->age = static_cast<int>(ws.age);
+    w->local_energy = ws.local_energy;
+    w->old_local_energy = ws.old_local_energy;
+    w->log_psi = ws.log_psi;
+    w->id = ws.id;
+    w->parent_id = ws.parent_id;
+    if (snap.buffers_stored)
+      w->buffer.assign(ws.buffer.data(), ws.buffer.size());
+    RandomGenerator rng;
+    rng.restore_state(ws.rng);
+    walkers.push_back(std::move(w));
+    rngs.push_back(rng);
+  }
+  if (!snap.buffers_stored)
+  {
+    // The recompute flag: registration layout and contents are rebuilt
+    // from scratch against slot 0's clones. Statistically equivalent
+    // to the stored-buffer path, but not bitwise (from-scratch inverses
+    // differ from incrementally updated ones in the low bits).
+    Crowd<TR>& crowd = *contexts_.front().crowd;
+    ParticleSet<TR>& elec = crowd.elec(0);
+    TrialWaveFunction<TR>& twf = crowd.twf(0);
+    for (auto& w : walkers)
+    {
+      elec.load_walker(*w);
+      elec.update();
+      twf.evaluate_log(elec);
+      twf.register_data(w->buffer);
+      twf.update_buffer(*w);
+    }
+  }
+  pop_.walkers = std::move(walkers);
+  pop_.rngs = std::move(rngs);
+  trial_energy_ = snap.trial_energy;
+  branch_rng_.restore_state(snap.branch_rng);
+  start_generation_ = static_cast<int>(snap.generation);
+  resumed_ = true;
+  resumed_kind_ = snap.kind;
+}
+
+template<typename TR>
+bool QMCDriver<TR>::checkpoint_barrier(int gen, io::ChainKind kind)
+{
+  const bool stop =
+      config_.stop_flag != nullptr && config_.stop_flag->load(std::memory_order_relaxed);
+  const bool periodic =
+      config_.checkpoint_every > 0 && (gen + 1) % config_.checkpoint_every == 0;
+  if (!config_.checkpoint_path.empty() && (periodic || stop))
+    io::write_snapshot_file(config_.checkpoint_path, capture_snapshot(gen + 1, kind));
+  return stop;
 }
 
 template<typename TR>
@@ -333,9 +452,13 @@ std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_
 template<typename TR>
 RunResult QMCDriver<TR>::run_vmc()
 {
+  if (resumed_ && resumed_kind_ != io::ChainKind::VMC)
+    throw std::runtime_error("run_vmc: the restored snapshot holds a DMC chain; resuming it "
+                             "through VMC would silently corrupt the Markov chain");
   RunResult result;
+  result.start_generation = start_generation_;
   const Stopwatch stopwatch;
-  for (int gen = 0; gen < config_.steps; ++gen)
+  for (int gen = start_generation_; gen < config_.steps; ++gen)
   {
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
@@ -362,13 +485,23 @@ RunResult QMCDriver<TR>::run_vmc()
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
     result.generations.push_back(stats);
     result.total_samples += nw;
+    if (config_.on_generation)
+      config_.on_generation(gen, stats);
+    if (checkpoint_barrier(gen, io::ChainKind::VMC))
+    {
+      result.interrupted = true;
+      break;
+    }
   }
   result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
-  // Post-warmup averages.
+  // Post-warmup averages; generations[] holds this run's slice, so the
+  // warmup cut is relative to start_generation_ (a resumed run past its
+  // warmup discards nothing).
   FullPrecReal e = 0, v = 0, a = 0;
   int count = 0;
-  for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
+  for (int g = std::max(0, config_.warmup_steps - start_generation_);
+       g < static_cast<int>(result.generations.size()); ++g)
   {
     e += result.generations[g].energy;
     v += result.generations[g].variance;
@@ -387,16 +520,25 @@ RunResult QMCDriver<TR>::run_vmc()
 template<typename TR>
 RunResult QMCDriver<TR>::run_dmc()
 {
+  if (resumed_ && resumed_kind_ != io::ChainKind::DMC)
+    throw std::runtime_error("run_dmc: the restored snapshot holds a VMC chain; resuming it "
+                             "through DMC would silently corrupt the Markov chain");
   RunResult result;
-  // Initialize the trial energy from the current population.
-  FullPrecReal e0 = 0.0;
-  for (const auto& w : pop_.walkers)
-    e0 += w->local_energy;
-  trial_energy_ = e0 / pop_.size();
+  result.start_generation = start_generation_;
+  if (!resumed_)
+  {
+    // Initialize the trial energy from the current population. A
+    // resumed run keeps the snapshot's trial energy: re-deriving it
+    // from the restored walkers would fork the feedback history.
+    FullPrecReal e0 = 0.0;
+    for (const auto& w : pop_.walkers)
+      e0 += w->local_energy;
+    trial_energy_ = e0 / pop_.size();
+  }
 
   const FullPrecReal tau = config_.tau;
   const Stopwatch stopwatch;
-  for (int gen = 0; gen < config_.steps; ++gen)
+  for (int gen = start_generation_; gen < config_.steps; ++gen)
   {
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
@@ -438,12 +580,23 @@ RunResult QMCDriver<TR>::run_dmc()
             std::log(static_cast<double>(pop_.size()) / config_.num_walkers);
     stats.trial_energy = trial_energy_;
     result.generations.push_back(stats);
+    if (config_.on_generation)
+      config_.on_generation(gen, stats);
+    // The barrier state (post-branch population, fed-back trial energy)
+    // is exactly what a checkpoint must capture, so this sits after
+    // branching and feedback.
+    if (checkpoint_barrier(gen, io::ChainKind::DMC))
+    {
+      result.interrupted = true;
+      break;
+    }
   }
   result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
   FullPrecReal e = 0, v = 0, a = 0;
   int count = 0;
-  for (int g = config_.warmup_steps; g < static_cast<int>(result.generations.size()); ++g)
+  for (int g = std::max(0, config_.warmup_steps - start_generation_);
+       g < static_cast<int>(result.generations.size()); ++g)
   {
     e += result.generations[g].energy;
     v += result.generations[g].variance;

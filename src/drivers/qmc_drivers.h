@@ -13,13 +13,17 @@
 #ifndef QMCXX_DRIVERS_QMC_DRIVERS_H
 #define QMCXX_DRIVERS_QMC_DRIVERS_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "concurrency/parallel_crowd_runner.h"
 #include "drivers/crowd.h"
 #include "hamiltonian/hamiltonian.h"
+#include "io/snapshot.h"
 #include "numerics/rng.h"
 #include "particle/particle_set.h"
 #include "particle/walker.h"
@@ -27,6 +31,8 @@
 
 namespace qmcxx
 {
+
+struct GenerationStats;
 
 struct DriverConfig
 {
@@ -53,6 +59,26 @@ struct DriverConfig
   /// the plain rank-1 Sherman-Morrison determinant (bitwise-identical
   /// chains to earlier builds); values < 1 are rejected at construction.
   int delay_rank = 1;
+  /// Write a qmcxx-snap-v1 snapshot to checkpoint_path every N
+  /// generations (at the generation barrier, after branching). 0
+  /// disables periodic checkpoints; negative values are rejected.
+  int checkpoint_every = 0;
+  /// Snapshot destination; required whenever checkpoint_every > 0 or a
+  /// stop_flag is set with the intent to checkpoint on interrupt.
+  std::string checkpoint_path;
+  /// Workload identity stamped into snapshots and verified on restore
+  /// (io::workload_fingerprint). 0 leaves snapshots unstamped and skips
+  /// the check -- driver-level tests that build systems by hand use 0.
+  std::uint64_t checkpoint_fingerprint = 0;
+  /// Cooperative interrupt: when non-null and set, the run checkpoints
+  /// (if checkpoint_path is set) and returns at the next generation
+  /// barrier with RunResult::interrupted = true. Signal-handler safe:
+  /// the driver only loads it.
+  std::atomic<bool>* stop_flag = nullptr;
+  /// Streaming observer, called after each generation's stats are
+  /// reduced (absolute generation index). Used by qmc_server to stream
+  /// incremental scalar observables; must not throw.
+  std::function<void(int, const GenerationStats&)> on_generation;
 };
 
 /// Per-generation record (Alg. 1 bookkeeping).
@@ -75,6 +101,8 @@ struct RunResult
   double seconds = 0.0;
   std::uint64_t total_samples = 0; ///< walker-generations processed
   double throughput = 0.0;         ///< samples per second (paper Sec. 6.2)
+  int start_generation = 0;        ///< first generation index of this run (resume offset)
+  bool interrupted = false;        ///< stop_flag fired; state was checkpointed if configured
 };
 
 /// Per-thread compute resources: one crowd of `crowd_size` slots (the
@@ -129,6 +157,23 @@ public:
   /// Diffusion Monte Carlo (paper Alg. 1).
   RunResult run_dmc();
 
+  /// Serialize the complete chain state at a generation barrier:
+  /// population (positions, bookkeeping, lineage, buffers), per-walker
+  /// RNG streams, branch stream, trial energy, and the absolute index
+  /// of the next generation to run. With store_buffers = false the
+  /// PooledBuffer bytes are dropped and the snapshot records the
+  /// recompute flag (smaller file, statistically equivalent resume).
+  [[nodiscard]] io::PopulationSnapshot capture_snapshot(int next_generation,
+                                                        io::ChainKind kind,
+                                                        bool store_buffers = true) const;
+
+  /// Replace the population with a snapshot's (instead of
+  /// initialize_population). Validates compatibility first and offers
+  /// the strong guarantee: on any throw the driver is untouched.
+  /// Subsequent run_vmc/run_dmc continues the chain at the snapshot's
+  /// generation counter, bitwise-exact when buffers were stored.
+  void restore_snapshot(const io::PopulationSnapshot& snap);
+
 private:
   struct SweepOutcome
   {
@@ -157,6 +202,11 @@ private:
 
   void make_crowd_contexts();
 
+  /// Generation-barrier checkpoint/interrupt point: writes a snapshot
+  /// when due (periodic cadence or pending stop) and reports whether
+  /// the run should break out. `gen` is the generation just finished.
+  bool checkpoint_barrier(int gen, io::ChainKind kind);
+
   ParticleSet<TR>& elec_proto_;
   TrialWaveFunction<TR>& twf_proto_;
   Hamiltonian<TR>& ham_proto_;
@@ -166,6 +216,9 @@ private:
   FullPrecReal trial_energy_ = 0.0;
   RandomGenerator branch_rng_;
   std::unique_ptr<ParallelCrowdRunner> runner_;
+  int start_generation_ = 0; ///< nonzero after restore_snapshot
+  bool resumed_ = false;
+  io::ChainKind resumed_kind_ = io::ChainKind::VMC;
 };
 
 /// Branching / population control (Alg. 1 L13: reweight and branch).

@@ -3,6 +3,7 @@
 
 #include "drivers/qmc_drivers.h"
 #include "instrument/memory_tracker.h"
+#include "io/snapshot.h"
 #include "instrument/stopwatch.h"
 #include "workloads/system_builder.h"
 
@@ -27,10 +28,18 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   opt.delay_rank = spec.driver.delay_rank;
   QMCSystem<TR> sys = build_system<TR>(info, opt);
 
-  QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, spec.driver);
+  // Stamp the workload identity into the driver config so snapshots
+  // written by this run carry it, and restores verify it.
+  DriverConfig dcfg = spec.driver;
+  dcfg.checkpoint_fingerprint =
+      io::workload_fingerprint(info.name, to_string(spec.variant), dcfg.delay_rank);
+  QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, dcfg);
   {
     MemoryScope scope("walker-buffers");
-    driver.initialize_population();
+    if (spec.resume_path.empty())
+      driver.initialize_population();
+    else
+      driver.restore_snapshot(io::read_snapshot_file(spec.resume_path));
   }
   const FullPrecReal build_seconds = build_watch.seconds();
 

@@ -6,6 +6,7 @@
 #define QMCXX_DRIVERS_QMC_SYSTEM_H
 
 #include <cstddef>
+#include <string>
 
 #include "config/config.h"
 #include "drivers/qmc_drivers.h"
@@ -33,6 +34,11 @@ struct EngineRunSpec
   EngineVariant variant = EngineVariant::Current;
   DriverConfig driver;
   bool dmc = true; ///< DMC (Alg. 1) vs VMC sampling
+  /// Resume from a qmcxx-snap-v1 file instead of initializing a fresh
+  /// population. The snapshot must match this spec's workload, variant,
+  /// delay_rank (fingerprint), seed, tau, and precision; the run then
+  /// continues at the snapshot's generation counter.
+  std::string resume_path;
 };
 
 /// Build the system for the requested variant, run it, and collect the

@@ -12,9 +12,18 @@
 #define QMCXX_INSTRUMENT_STOPWATCH_H
 
 #include <chrono>
+#include <thread>
 
 namespace qmcxx
 {
+
+/// Sanctioned sleep for polling loops (the qmc_server spool scan).
+/// Lives here because src/instrument/ is the one legal home for
+/// std::chrono (lint rule chrono-outside-instrument).
+inline void sleep_for_ms(int ms)
+{
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
 
 class Stopwatch
 {

@@ -1,0 +1,307 @@
+#include "io/job_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qmcxx::io
+{
+
+namespace
+{
+
+std::string lower(std::string s)
+{
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Minimal recursive-descent reader over the fixed job-spec schema.
+/// Every key is known and typed, so there is no generic value tree --
+/// an unknown key is an error naming it, not a skipped subtree.
+class Parser
+{
+public:
+  Parser(const std::string& text, const std::string& job) : s_(text), job_(job) {}
+
+  [[noreturn]] void fail(const std::string& what) const
+  {
+    throw std::runtime_error("job '" + job_ + "': " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws()
+  {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+
+  char peek()
+  {
+    skip_ws();
+    if (pos_ >= s_.size())
+      fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c)
+  {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', found '" + s_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_if(char c)
+  {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c)
+    {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_end()
+  {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  std::string parse_string()
+  {
+    expect('"');
+    std::string out;
+    while (true)
+    {
+      if (pos_ >= s_.size())
+        fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"')
+        return out;
+      if (c == '\\')
+      {
+        if (pos_ >= s_.size())
+          fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e)
+        {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        default: fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      }
+      else
+      {
+        out += c;
+      }
+    }
+  }
+
+  bool parse_bool()
+  {
+    skip_ws();
+    if (s_.compare(pos_, 4, "true") == 0)
+    {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0)
+    {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected true or false");
+  }
+
+  std::string number_token()
+  {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start)
+      fail("expected a number");
+    return s_.substr(start, pos_ - start);
+  }
+
+  double parse_double()
+  {
+    const std::string tok = number_token();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (errno != 0 || end != tok.c_str() + tok.size())
+      fail("malformed number '" + tok + "'");
+    return v;
+  }
+
+  int parse_int()
+  {
+    const std::string tok = number_token();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (errno != 0 || end != tok.c_str() + tok.size())
+      fail("expected an integer, got '" + tok + "'");
+    return static_cast<int>(v);
+  }
+
+  /// Seeds are full 64-bit values; going through double would round
+  /// anything above 2^53 and silently fork the RNG streams.
+  std::uint64_t parse_u64()
+  {
+    const std::string tok = number_token();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (errno != 0 || end != tok.c_str() + tok.size() || tok.find('-') != std::string::npos)
+      fail("expected an unsigned 64-bit integer, got '" + tok + "'");
+    return v;
+  }
+
+private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  const std::string& job_;
+};
+
+void parse_driver_object(Parser& p, DriverConfig& d)
+{
+  p.expect('{');
+  if (p.consume_if('}'))
+    return;
+  do
+  {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "tau")
+      d.tau = p.parse_double();
+    else if (key == "num_walkers")
+      d.num_walkers = p.parse_int();
+    else if (key == "steps")
+      d.steps = p.parse_int();
+    else if (key == "warmup_steps")
+      d.warmup_steps = p.parse_int();
+    else if (key == "seed")
+      d.seed = p.parse_u64();
+    else if (key == "recompute_period")
+      d.recompute_period = p.parse_int();
+    else if (key == "feedback")
+      d.feedback = p.parse_double();
+    else if (key == "num_threads")
+      d.num_threads = p.parse_int();
+    else if (key == "use_drift")
+      d.use_drift = p.parse_bool();
+    else if (key == "crowd_size")
+      d.crowd_size = p.parse_int();
+    else if (key == "delay_rank")
+      d.delay_rank = p.parse_int();
+    else if (key == "checkpoint_every")
+      d.checkpoint_every = p.parse_int();
+    else
+      p.fail("unknown driver key '" + key + "'");
+  } while (p.consume_if(','));
+  p.expect('}');
+}
+
+} // namespace
+
+Workload workload_from_name(const std::string& s)
+{
+  const std::string n = lower(s);
+  if (n == "graphite")
+    return Workload::Graphite;
+  if (n == "be-64" || n == "be64")
+    return Workload::Be64;
+  if (n == "nio-32" || n == "nio32")
+    return Workload::NiO32;
+  if (n == "nio-64" || n == "nio64")
+    return Workload::NiO64;
+  throw std::runtime_error("unknown workload '" + s +
+                           "' (expected Graphite, Be-64, NiO-32 or NiO-64)");
+}
+
+EngineVariant variant_from_name(const std::string& s)
+{
+  const std::string n = lower(s);
+  if (n == "ref")
+    return EngineVariant::Ref;
+  if (n == "refmp" || n == "ref+mp")
+    return EngineVariant::RefMP;
+  if (n == "current")
+    return EngineVariant::Current;
+  if (n == "currentdp" || n == "current(dp)")
+    return EngineVariant::CurrentDP;
+  throw std::runtime_error("unknown engine variant '" + s +
+                           "' (expected ref, refmp, current or currentdp)");
+}
+
+JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name)
+{
+  JobSpec spec;
+  spec.name = job_name;
+  Parser p(json_text, job_name);
+  p.expect('{');
+  if (!p.consume_if('}'))
+  {
+    do
+    {
+      const std::string key = p.parse_string();
+      p.expect(':');
+      if (key == "workload")
+        spec.workload = workload_from_name(p.parse_string());
+      else if (key == "variant")
+        spec.variant = variant_from_name(p.parse_string());
+      else if (key == "dmc")
+        spec.dmc = p.parse_bool();
+      else if (key == "mem_budget_mb")
+        spec.mem_budget_mb = p.parse_double();
+      else if (key == "driver")
+        parse_driver_object(p, spec.driver);
+      else
+        p.fail("unknown key '" + key + "'");
+    } while (p.consume_if(','));
+    p.expect('}');
+  }
+  if (!p.at_end())
+    p.fail("trailing characters after the job object");
+  return spec;
+}
+
+std::vector<std::string> list_spool_jobs(const std::string& dir)
+{
+  namespace fs = std::filesystem;
+  std::vector<std::string> jobs;
+  for (const auto& entry : fs::directory_iterator(dir))
+  {
+    if (entry.is_regular_file() && entry.path().extension() == ".json")
+      jobs.push_back(entry.path().string());
+  }
+  std::sort(jobs.begin(), jobs.end());
+  return jobs;
+}
+
+std::string read_text_file(const std::string& path)
+{
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+} // namespace qmcxx::io

@@ -1,0 +1,60 @@
+// Job requests for the qmc_server example: a workload name, an engine
+// variant, and DriverConfig knobs, parsed from a small JSON object.
+//
+//   { "workload": "Graphite", "variant": "current", "dmc": false,
+//     "driver": { "steps": 64, "num_walkers": 16, "seed": 42,
+//                 "checkpoint_every": 8 },
+//     "mem_budget_mb": 512 }
+//
+// The parser is a minimal recursive-descent JSON reader (objects,
+// strings, numbers, booleans) -- deliberately no external dependency.
+// Unknown keys are rejected with an error naming the key, so a typo'd
+// knob fails the job instead of silently running defaults.
+#ifndef QMCXX_IO_JOB_SPEC_H
+#define QMCXX_IO_JOB_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "drivers/qmc_drivers.h"
+#include "workloads/workloads.h"
+
+namespace qmcxx::io
+{
+
+struct JobSpec
+{
+  std::string name;        ///< job id (spool file stem or "stdin-N")
+  Workload workload = Workload::Graphite;
+  EngineVariant variant = EngineVariant::Current;
+  bool dmc = false;
+  /// Soft per-job memory budget; 0 = unlimited. The server reports a
+  /// budget violation (tracked peak > budget) in the completion record.
+  double mem_budget_mb = 0.0;
+  DriverConfig driver;
+};
+
+/// "Graphite"/"Be-64"/"NiO-32"/"NiO-64" (the paper's Table 1 names) or
+/// the aliases graphite/be64/nio32/nio64. Throws on anything else.
+[[nodiscard]] Workload workload_from_name(const std::string& s);
+
+/// "ref" / "refmp" / "current" / "currentdp" (case-insensitive, also
+/// accepts the display names "Ref+MP" etc). Throws on anything else.
+[[nodiscard]] EngineVariant variant_from_name(const std::string& s);
+
+/// Parse one job-request JSON object. Throws std::runtime_error with a
+/// position/key-naming message on malformed input or unknown keys.
+[[nodiscard]] JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name);
+
+/// Sorted *.json paths in a spool directory (skips .done/.failed/...;
+/// sorted so submission order is deterministic). Throws if the
+/// directory cannot be read.
+[[nodiscard]] std::vector<std::string> list_spool_jobs(const std::string& dir);
+
+/// Whole-file slurp. Throws std::runtime_error if unreadable.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+} // namespace qmcxx::io
+
+#endif

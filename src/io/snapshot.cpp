@@ -1,0 +1,362 @@
+#include "io/snapshot.h"
+
+#include <array>
+#include <cstdio> // std::rename, std::remove
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "containers/aligned_allocator.h"
+#include "instrument/memory_tracker.h"
+
+namespace qmcxx::io
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'q', 'm', 'c', 'x', 's', 'n', 'p', '1'};
+constexpr std::size_t kHeaderBytes = 40;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+std::uint32_t crc32(const char* data, std::size_t n)
+{
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i)
+    {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+/// Append-only packed byte writer. Staged in an aligned_vector so the
+/// serialization working set is visible to MemoryTracker (the server's
+/// per-job budgeting counts snapshot staging against the job).
+class ByteSink
+{
+public:
+  template<typename T>
+  void put(const T& v)
+  {
+    static_assert(std::is_trivially_copyable_v<T>, "snapshots stream raw bytes");
+    put_bytes(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void put_bytes(const char* p, std::size_t n)
+  {
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  const aligned_vector<char>& bytes() const { return bytes_; }
+
+private:
+  aligned_vector<char> bytes_;
+};
+
+/// Bounds-checked packed byte reader; any overrun means the payload was
+/// truncated relative to its own structure.
+class ByteSource
+{
+public:
+  ByteSource(const char* p, std::size_t n) : p_(p), n_(n) {}
+
+  template<typename T>
+  T get()
+  {
+    static_assert(std::is_trivially_copyable_v<T>, "snapshots stream raw bytes");
+    T v;
+    get_bytes(reinterpret_cast<char*>(&v), sizeof(T));
+    return v;
+  }
+
+  void get_bytes(char* dst, std::size_t n)
+  {
+    if (cur_ + n > n_)
+      throw std::runtime_error("qmcxx-snap: truncated snapshot payload (structure overruns "
+                               "declared size)");
+    std::memcpy(dst, p_ + cur_, n);
+    cur_ += n;
+  }
+
+  std::size_t remaining() const { return n_ - cur_; }
+
+private:
+  const char* p_;
+  std::size_t n_;
+  std::size_t cur_ = 0;
+};
+
+void serialize_payload(const PopulationSnapshot& snap, ByteSink& sink)
+{
+  sink.put(snap.master_seed);
+  sink.put(snap.tau);
+  sink.put(static_cast<std::uint32_t>(snap.kind));
+  sink.put(static_cast<std::uint32_t>(snap.buffers_stored ? 1 : 0));
+  sink.put(snap.generation);
+  sink.put(snap.trial_energy);
+  sink.put(snap.branch_rng);
+  sink.put(snap.num_particles);
+  sink.put(static_cast<std::uint64_t>(snap.walkers.size()));
+  for (const WalkerSnapshot& w : snap.walkers)
+  {
+    if (w.R.size() != snap.num_particles)
+      throw std::logic_error("qmcxx-snap: walker position count does not match "
+                             "PopulationSnapshot::num_particles");
+    sink.put(w.id);
+    sink.put(w.parent_id);
+    sink.put(w.weight);
+    sink.put(w.multiplicity);
+    sink.put(w.local_energy);
+    sink.put(w.old_local_energy);
+    sink.put(w.log_psi);
+    sink.put(w.age);
+    sink.put(w.rng);
+    sink.put_bytes(reinterpret_cast<const char*>(w.R.data()),
+                   w.R.size() * sizeof(Walker::Pos));
+    if (snap.buffers_stored)
+    {
+      sink.put(static_cast<std::uint64_t>(w.buffer.size()));
+      sink.put_bytes(w.buffer.data(), w.buffer.size());
+    }
+  }
+}
+
+PopulationSnapshot parse_payload(std::uint32_t precision_bytes, std::uint64_t fingerprint,
+                                 const char* data, std::size_t n)
+{
+  ByteSource src(data, n);
+  PopulationSnapshot snap;
+  snap.precision_bytes = precision_bytes;
+  snap.workload_fingerprint = fingerprint;
+  snap.master_seed = src.get<std::uint64_t>();
+  snap.tau = src.get<double>();
+  const auto kind = src.get<std::uint32_t>();
+  if (kind > 1)
+    throw std::runtime_error("qmcxx-snap: invalid chain kind tag " + std::to_string(kind));
+  snap.kind = static_cast<ChainKind>(kind);
+  snap.buffers_stored = src.get<std::uint32_t>() != 0;
+  snap.generation = src.get<std::uint64_t>();
+  snap.trial_energy = src.get<double>();
+  snap.branch_rng = src.get<RandomGenerator::State>();
+  snap.num_particles = src.get<std::uint64_t>();
+  const auto num_walkers = src.get<std::uint64_t>();
+  // Sanity bound before any resize: a corrupt-but-CRC-colliding count
+  // must not drive a huge allocation. Every walker needs at least its
+  // fixed-size record in the remaining bytes.
+  constexpr std::size_t kFixedWalkerBytes =
+      2 * sizeof(std::uint64_t) + 5 * sizeof(double) + sizeof(std::int64_t) +
+      sizeof(RandomGenerator::State);
+  const std::size_t min_walker_bytes =
+      kFixedWalkerBytes + snap.num_particles * sizeof(Walker::Pos);
+  if (num_walkers > 0 && src.remaining() / num_walkers < min_walker_bytes)
+    throw std::runtime_error("qmcxx-snap: truncated snapshot payload (walker count exceeds "
+                             "remaining bytes)");
+  snap.walkers.reserve(num_walkers);
+  for (std::uint64_t iw = 0; iw < num_walkers; ++iw)
+  {
+    WalkerSnapshot w;
+    w.id = src.get<std::uint64_t>();
+    w.parent_id = src.get<std::uint64_t>();
+    w.weight = src.get<double>();
+    w.multiplicity = src.get<double>();
+    w.local_energy = src.get<double>();
+    w.old_local_energy = src.get<double>();
+    w.log_psi = src.get<double>();
+    w.age = src.get<std::int64_t>();
+    w.rng = src.get<RandomGenerator::State>();
+    w.R.resize(snap.num_particles);
+    src.get_bytes(reinterpret_cast<char*>(w.R.data()),
+                  w.R.size() * sizeof(Walker::Pos));
+    if (snap.buffers_stored)
+    {
+      const auto nbytes = src.get<std::uint64_t>();
+      if (nbytes > src.remaining())
+        throw std::runtime_error("qmcxx-snap: truncated snapshot payload (buffer overruns "
+                                 "declared size)");
+      w.buffer.resize(nbytes);
+      src.get_bytes(w.buffer.data(), nbytes);
+    }
+    snap.walkers.push_back(std::move(w));
+  }
+  if (src.remaining() != 0)
+    throw std::runtime_error("qmcxx-snap: snapshot payload has " +
+                             std::to_string(src.remaining()) + " trailing bytes");
+  return snap;
+}
+
+} // namespace
+
+std::uint64_t workload_fingerprint(std::string_view workload, std::string_view variant,
+                                   int delay_rank)
+{
+  // FNV-1a (64-bit) with a 0xff separator between fields so
+  // ("ab","c") and ("a","bc") hash differently.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+    {
+      h ^= static_cast<unsigned char>(p[i]);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xffu;
+    h *= 0x100000001b3ull;
+  };
+  mix(workload.data(), workload.size());
+  mix(variant.data(), variant.size());
+  const auto d = static_cast<std::int64_t>(delay_rank);
+  mix(reinterpret_cast<const char*>(&d), sizeof(d));
+  return h;
+}
+
+void validate_compatible(const PopulationSnapshot& snap, const SnapshotExpectation& expect)
+{
+  const auto precision_name = [](std::uint32_t b) {
+    return b == 4 ? "float" : b == 8 ? "double" : "unknown";
+  };
+  if (snap.precision_bytes != expect.precision_bytes)
+    throw std::runtime_error(
+        std::string("qmcxx-snap: precision tag mismatch: snapshot was written by a ") +
+        precision_name(snap.precision_bytes) + "(" + std::to_string(snap.precision_bytes) +
+        "-byte) engine, this engine computes in " + precision_name(expect.precision_bytes) +
+        "(" + std::to_string(expect.precision_bytes) + "-byte)");
+  if (expect.fingerprint != 0 && snap.workload_fingerprint != 0 &&
+      snap.workload_fingerprint != expect.fingerprint)
+    throw std::runtime_error("qmcxx-snap: workload fingerprint mismatch (snapshot " +
+                             std::to_string(snap.workload_fingerprint) + ", this run " +
+                             std::to_string(expect.fingerprint) +
+                             "): the snapshot was taken from a different workload, engine "
+                             "variant, or delay_rank");
+  if (snap.master_seed != expect.master_seed)
+    throw std::runtime_error("qmcxx-snap: master seed mismatch (snapshot " +
+                             std::to_string(snap.master_seed) + ", this run " +
+                             std::to_string(expect.master_seed) +
+                             "): exact resume requires the original seed");
+  if (snap.tau != expect.tau)
+    throw std::runtime_error("qmcxx-snap: time step mismatch (snapshot tau " +
+                             std::to_string(snap.tau) + ", this run " +
+                             std::to_string(expect.tau) +
+                             "): exact resume requires the original tau");
+  if (snap.num_particles != expect.num_particles)
+    throw std::runtime_error("qmcxx-snap: particle count mismatch (snapshot " +
+                             std::to_string(snap.num_particles) + ", this system " +
+                             std::to_string(expect.num_particles) + ")");
+  if (snap.walkers.empty())
+    throw std::runtime_error("qmcxx-snap: snapshot holds an empty population");
+}
+
+std::size_t snapshot_payload_bytes(const PopulationSnapshot& snap)
+{
+  ByteSink sink;
+  serialize_payload(snap, sink);
+  return sink.bytes().size();
+}
+
+std::size_t write_snapshot_file(const std::string& path, const PopulationSnapshot& snap)
+{
+  MemoryScope scope("snapshot-write");
+  ByteSink sink;
+  serialize_payload(snap, sink);
+  const std::uint32_t crc = crc32(sink.bytes().data(), sink.bytes().size());
+
+  char header[kHeaderBytes];
+  std::size_t off = 0;
+  const auto put = [&](const void* p, std::size_t n) {
+    std::memcpy(header + off, p, n);
+    off += n;
+  };
+  const std::uint32_t version = SNAPSHOT_VERSION;
+  const std::uint64_t payload_bytes = sink.bytes().size();
+  const std::uint32_t reserved = 0;
+  put(kMagic, sizeof(kMagic));
+  put(&version, sizeof(version));
+  put(&snap.precision_bytes, sizeof(snap.precision_bytes));
+  put(&snap.workload_fingerprint, sizeof(snap.workload_fingerprint));
+  put(&payload_bytes, sizeof(payload_bytes));
+  put(&crc, sizeof(crc));
+  put(&reserved, sizeof(reserved));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("qmcxx-snap: cannot open '" + tmp + "' for writing");
+    out.write(header, static_cast<std::streamsize>(kHeaderBytes));
+    out.write(sink.bytes().data(), static_cast<std::streamsize>(payload_bytes));
+    out.flush();
+    if (!out)
+    {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("qmcxx-snap: write to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+  {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("qmcxx-snap: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return kHeaderBytes + payload_bytes;
+}
+
+PopulationSnapshot read_snapshot_file(const std::string& path)
+{
+  MemoryScope scope("snapshot-read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("qmcxx-snap: cannot open '" + path + "' for reading");
+
+  char header[kHeaderBytes];
+  in.read(header, static_cast<std::streamsize>(kHeaderBytes));
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes))
+    throw std::runtime_error("qmcxx-snap: truncated snapshot '" + path +
+                             "' (file shorter than the 40-byte header)");
+  std::size_t off = 0;
+  const auto get = [&](void* p, std::size_t n) {
+    std::memcpy(p, header + off, n);
+    off += n;
+  };
+  char magic[8];
+  std::uint32_t version = 0, precision = 0, crc_stored = 0, reserved = 0;
+  std::uint64_t fingerprint = 0, payload_bytes = 0;
+  get(magic, sizeof(magic));
+  get(&version, sizeof(version));
+  get(&precision, sizeof(precision));
+  get(&fingerprint, sizeof(fingerprint));
+  get(&payload_bytes, sizeof(payload_bytes));
+  get(&crc_stored, sizeof(crc_stored));
+  get(&reserved, sizeof(reserved));
+
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("qmcxx-snap: '" + path +
+                             "' is not a qmcxx-snap file (bad magic)");
+  if (version != SNAPSHOT_VERSION)
+    throw std::runtime_error("qmcxx-snap: unsupported snapshot version " +
+                             std::to_string(version) + " in '" + path + "' (this build reads "
+                             "version " + std::to_string(SNAPSHOT_VERSION) + ")");
+
+  aligned_vector<char> payload(payload_bytes);
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (in.gcount() != static_cast<std::streamsize>(payload_bytes))
+    throw std::runtime_error("qmcxx-snap: truncated snapshot '" + path + "' (header declares " +
+                             std::to_string(payload_bytes) + " payload bytes, file holds " +
+                             std::to_string(in.gcount()) + ")");
+
+  const std::uint32_t crc_computed = crc32(payload.data(), payload.size());
+  if (crc_computed != crc_stored)
+    throw std::runtime_error("qmcxx-snap: payload CRC mismatch in '" + path + "' (stored " +
+                             std::to_string(crc_stored) + ", computed " +
+                             std::to_string(crc_computed) + "): snapshot is corrupt");
+
+  return parse_payload(precision, fingerprint, payload.data(), payload.size());
+}
+
+} // namespace qmcxx::io

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 
 #include "containers/tiny_vector.h"
 
@@ -106,6 +107,32 @@ public:
     return static_cast<std::uint64_t>(m >> 64);
   }
 
+  /// Complete serializable generator state (qmcxx-snap-v1 checkpoints,
+  /// src/io/snapshot.h): the four xoshiro words plus the Box-Muller
+  /// cache. A parked Gaussian is part of the stream position --
+  /// dropping it on restore would shift every draw after resume and
+  /// break bitwise chain parity.
+  struct State
+  {
+    std::uint64_t s[4];
+    std::uint64_t have_gauss; ///< 0/1 (64-bit keeps the struct pad-free)
+    double cached_gauss;
+  };
+
+  [[nodiscard]] State save_state() const
+  {
+    return State{{state_[0], state_[1], state_[2], state_[3]},
+                 have_gauss_ ? std::uint64_t{1} : std::uint64_t{0}, cached_gauss_};
+  }
+
+  void restore_state(const State& st)
+  {
+    for (int i = 0; i < 4; ++i)
+      state_[i] = st.s[i];
+    have_gauss_ = st.have_gauss != 0;
+    cached_gauss_ = st.cached_gauss;
+  }
+
 private:
   static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
@@ -113,6 +140,12 @@ private:
   bool have_gauss_ = false;
   double cached_gauss_ = 0.0;
 };
+
+// The snapshot format (qmcxx-snap-v1) ships RNG state as raw bytes; if
+// this layout changes, SNAPSHOT_VERSION in src/io/snapshot.h must too.
+static_assert(std::is_trivially_copyable_v<RandomGenerator::State> &&
+                  sizeof(RandomGenerator::State) == 48,
+              "RandomGenerator::State is serialized verbatim into snapshots");
 
 } // namespace qmcxx
 

@@ -40,9 +40,13 @@ struct Walker
   std::uint64_t parent_id = 0;
   PooledBuffer buffer;    ///< anonymous per-walker wavefunction state
 
+  /// Resident bytes of this walker: positions and buffer are counted at
+  /// *capacity*, not size -- a buffer that shrank logically still pins
+  /// its backing store, and per-job memory budgeting (qmc_server) must
+  /// see what the allocator sees.
   [[nodiscard]] std::size_t byte_size() const
   {
-    return sizeof(Walker) + R.capacity() * sizeof(Pos) + buffer.size();
+    return sizeof(Walker) + R.capacity() * sizeof(Pos) + buffer.capacity();
   }
 };
 

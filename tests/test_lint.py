@@ -119,6 +119,37 @@ class TestCoutInSrc(LintFixtureCase):
         self.assert_clean("examples/ok_cout.cpp", self.BAD)
 
 
+class TestIoOutsideSnapshot(LintFixtureCase):
+    BAD = ('#include <fstream>\n'
+           'void f() { std::ofstream out("x.bin", std::ios::binary); }\n')
+
+    def test_fires_in_src(self):
+        self.assert_fires("io-outside-snapshot", "src/drivers/bad_io.cpp", self.BAD)
+
+    def test_fires_in_examples(self):
+        self.assert_fires("io-outside-snapshot", "examples/bad_io.cpp", self.BAD)
+
+    def test_fires_on_cstdio_file_api(self):
+        self.assert_fires("io-outside-snapshot", "src/drivers/bad_fopen.cpp",
+                          'void f() { fopen("x", "w"); }\n')
+        self.assert_fires("io-outside-snapshot", "src/drivers/bad_fwrite.cpp",
+                          "void f(FILE* fp, char* b) { fwrite(b, 1, 4, fp); }\n")
+
+    def test_io_subsystem_is_exempt(self):
+        self.assert_clean("src/io/snapshot2.cpp", self.BAD)
+        self.assert_clean("src/instrument/report2.cpp", self.BAD)
+
+    def test_bench_and_tests_are_out_of_scope(self):
+        self.assert_clean("bench/ok_io.cpp", self.BAD)
+        self.assert_clean("tests/ok_io.cpp", self.BAD)
+
+    def test_suppression_works(self):
+        self.assert_clean(
+            "src/drivers/ok_io_allowed.cpp",
+            "// qmcxx-lint: allow(io-outside-snapshot)\n"
+            'void f() { fopen("x", "w"); }\n')
+
+
 class TestDoubleInTRTemplate(LintFixtureCase):
     def test_fires_on_bare_local(self):
         self.assert_fires(
@@ -224,7 +255,7 @@ class TestCliContract(LintFixtureCase):
         code, out = self.run_lint("--list-rules")
         self.assertEqual(code, 0)
         for rule in ("rng-outside-core", "aos-in-hot-path", "chrono-outside-instrument",
-                     "cout-in-src", "double-in-tr-template"):
+                     "cout-in-src", "io-outside-snapshot", "double-in-tr-template"):
             self.assertIn(rule, out)
 
 

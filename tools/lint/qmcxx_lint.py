@@ -25,6 +25,12 @@ chrono-outside-instrument  std::chrono reads only inside src/instrument/
 cout-in-src              No std::cout in src/: the library reports through
                          instrument/report.h or returns data; stdout
                          belongs to the drivers' callers.
+io-outside-snapshot      Raw file I/O (fstream/fopen/fwrite/fread) in src/
+                         and examples/ is confined to src/io/ and
+                         src/instrument/ (PR 7): one subsystem owns file
+                         formats (qmcxx-snap-v1, JSONL streams), the
+                         atomic write-then-rename discipline, and error
+                         reporting. bench/ and tests/ are exempt.
 double-in-tr-template    No bare `double` locals inside code templated on
                          the compute-precision parameter TR. Precision is a
                          per-declaration decision: use TR for compute-
@@ -142,15 +148,19 @@ class PatternRule(Rule):
     """Regex rule over comment/string-stripped code lines."""
 
     def __init__(self, rule_id: str, description: str, pattern: str, message: str,
-                 include_dirs: tuple[str, ...] = (), exclude_files: tuple[str, ...] = ()):
+                 include_dirs: tuple[str, ...] = (), exclude_files: tuple[str, ...] = (),
+                 exclude_dirs: tuple[str, ...] = ()):
         super().__init__(rule_id, description)
         self.pattern = re.compile(pattern)
         self.message = message
         self.include_dirs = include_dirs
         self.exclude_files = exclude_files
+        self.exclude_dirs = exclude_dirs
 
     def applies_to(self, relpath: str) -> bool:
         if relpath in self.exclude_files:
+            return False
+        if any(relpath.startswith(d) for d in self.exclude_dirs):
             return False
         if not self.include_dirs:
             return True
@@ -252,7 +262,18 @@ RULES: list[Rule] = [
         r"|#\s*include\s*<chrono>",
         "wall-clock reads belong to src/instrument/ (Stopwatch / ScopedTimer); "
         "ad-hoc clocks reintroduce the torn-timer hazard PR 4 removed",
-        exclude_files=tuple(),
+        exclude_dirs=("src/instrument/",),
+    ),
+    PatternRule(
+        "io-outside-snapshot",
+        "raw file I/O outside src/io/ + src/instrument/",
+        r"\b(?:std::)?(?:i|o)?fstream\b|\bfopen\s*\(|\bfreopen\s*\(|\bfwrite\s*\(|"
+        r"\bfread\s*\(",
+        "file I/O in library and example code must go through src/io/ "
+        "(snapshot.h, stream_log.h, job_spec.h): one place owns formats, "
+        "atomic-rename discipline, and error reporting",
+        include_dirs=("src/", "examples/"),
+        exclude_dirs=("src/io/", "src/instrument/"),
     ),
     PatternRule(
         "cout-in-src",
@@ -267,12 +288,6 @@ RULES: list[Rule] = [
         "bare `double` locals in TR-templated code",
     ),
 ]
-
-# chrono is only legal inside src/instrument/: patch its applies_to.
-_chrono = next(r for r in RULES if r.rule_id == "chrono-outside-instrument")
-_chrono_applies_orig = _chrono.applies_to
-_chrono.applies_to = lambda rel: not rel.startswith("src/instrument/")
-
 
 def collect_files(paths: list[str]) -> list[str]:
     files: list[str] = []

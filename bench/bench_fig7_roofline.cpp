@@ -7,13 +7,101 @@
 // transformation, with all four kernels above the L3 roofline on BDW.
 // qmcxx combines measured kernel times/call counts with analytic
 // flop/byte models and in-situ machine roof measurements.
+#include <cstring>
+#include <string>
+
 #include "bench/bench_common.h"
 #include "instrument/roofline.h"
+#include "instrument/stopwatch.h"
+#include "wavefunction/spo_set.h"
 
 using namespace qmcxx;
 
-int main()
+namespace
 {
+
+/// --quick: CI smoke for the crowd-batched spline kernels. Verifies
+/// bitwise parity of evaluate_vgh_multi / evaluate_v_multi against the
+/// per-walker scalar loop on a small grid (exit 1 on any mismatch) and
+/// prints a batched-vs-scalar timing sweep over crowd sizes.
+template<typename TR>
+int quick_parity_and_timing(const char* label)
+{
+  const int grid = 12, norb = 48;
+  MultiBspline3D<TR> spline;
+  fill_synthetic_orbitals<TR>(spline, grid, grid, grid, norb, /*seed=*/7);
+
+  const std::size_t stride = getAlignedSize<TR>(norb);
+  const int pool = 512;
+  aligned_vector<TR> ubuf(static_cast<std::size_t>(3 * pool));
+  RandomGenerator rng(11);
+  for (std::size_t i = 0; i < ubuf.size(); ++i)
+    ubuf[i] = static_cast<TR>(rng.uniform());
+  const auto* u = reinterpret_cast<const TR(*)[3]>(ubuf.data());
+
+  std::printf("%s: batched vs scalar spline kernels (grid %d^3, %d orbitals)\n", label, grid,
+              norb);
+  int failures = 0;
+  for (int nw : {1, 4, 8})
+  {
+    const std::size_t comp = static_cast<std::size_t>(nw) * stride;
+    aligned_vector<TR> mb(10 * comp, TR(0)), sc(10 * comp, TR(0));
+    aligned_vector<TR> vb(comp, TR(0)), vs(comp, TR(0));
+    const SplineVGHMultiResult<TR> out{mb.data(),
+                                       {&mb[comp], &mb[2 * comp], &mb[3 * comp]},
+                                       {&mb[4 * comp], &mb[5 * comp], &mb[6 * comp],
+                                        &mb[7 * comp], &mb[8 * comp], &mb[9 * comp]},
+                                       stride};
+    const int chunks = pool / nw;
+    const Stopwatch tb;
+    for (int c = 0; c < chunks; ++c)
+    {
+      spline.evaluate_vgh_multi(u + c * nw, nw, out);
+      spline.evaluate_v_multi(u + c * nw, nw, vb.data(), stride);
+    }
+    const FullPrecReal batched_sec = tb.seconds();
+    const Stopwatch ts;
+    for (int c = 0; c < chunks; ++c)
+      for (int ip = 0; ip < nw; ++ip)
+      {
+        const std::size_t off = static_cast<std::size_t>(ip) * stride;
+        const SplineVGHResult<TR> view{&sc[off],
+                                       {&sc[comp + off], &sc[2 * comp + off], &sc[3 * comp + off]},
+                                       {&sc[4 * comp + off], &sc[5 * comp + off],
+                                        &sc[6 * comp + off], &sc[7 * comp + off],
+                                        &sc[8 * comp + off], &sc[9 * comp + off]}};
+        spline.evaluate_vgh(u[c * nw + ip], view);
+        spline.evaluate_v(u[c * nw + ip], vs.data() + off);
+      }
+    const FullPrecReal scalar_sec = ts.seconds();
+    // The last chunk is still staged in both buffers: bitwise compare.
+    const bool vgh_ok = std::memcmp(mb.data(), sc.data(), mb.size() * sizeof(TR)) == 0;
+    const bool v_ok = std::memcmp(vb.data(), vs.data(), vb.size() * sizeof(TR)) == 0;
+    if (!vgh_ok || !v_ok)
+      ++failures;
+    std::printf("  crowd %-3d batched %7.3f ms, scalar %7.3f ms (%.2fx)  parity: vgh %s, v %s\n",
+                nw, 1e3 * batched_sec, 1e3 * scalar_sec, scalar_sec / batched_sec,
+                vgh_ok ? "OK" : "MISMATCH", v_ok ? "OK" : "MISMATCH");
+  }
+  return failures;
+}
+
+int quick_mode()
+{
+  bench::header("Figure 7 --quick: batched SPO kernel parity + timing smoke",
+                "CI gate for the crowd-vectorized B-spline path");
+  const int failures =
+      quick_parity_and_timing<float>("float") + quick_parity_and_timing<double>("double");
+  std::printf("%s\n", failures ? "FAILED: batched/scalar mismatch" : "all parity checks passed");
+  return failures ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  if (argc > 1 && std::string(argv[1]) == "--quick")
+    return quick_mode();
   bench::header("Figure 7: NiO-32 hot-spot profile and roofline, Ref vs Current",
                 "Mathuriya et al. SC'17, Fig. 7");
 

@@ -67,6 +67,24 @@ public:
 template<typename T>
 using aligned_vector = std::vector<T, AlignedAllocator<T>>;
 
+/// Software-prefetch `count` elements starting at `p` into the cache
+/// hierarchy, stepping one QMC_SIMD_ALIGNMENT-sized line per issue.
+/// Allocation-alignment aware: aligned_vector storage starts on a line
+/// boundary, so for such pointers every touched line is covered exactly
+/// once. A no-op on compilers without __builtin_prefetch.
+template<typename T>
+inline void prefetch_read(const T* p, std::size_t count)
+{
+#if defined(__GNUC__) || defined(__clang__)
+  constexpr std::size_t step = QMC_SIMD_ALIGNMENT / sizeof(T);
+  for (std::size_t i = 0; i < count; i += step)
+    __builtin_prefetch(p + i, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+  (void)count;
+#endif
+}
+
 } // namespace qmcxx
 
 #endif

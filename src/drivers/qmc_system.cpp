@@ -26,6 +26,7 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   opt.soa_layout = soa_layout;
   opt.seed = spec.driver.seed;
   opt.delay_rank = spec.driver.delay_rank;
+  opt.spo_batched = spec.spo_batched;
   QMCSystem<TR> sys = build_system<TR>(info, opt);
 
   // Stamp the workload identity into the driver config so snapshots

@@ -34,6 +34,9 @@ struct EngineRunSpec
   EngineVariant variant = EngineVariant::Current;
   DriverConfig driver;
   bool dmc = true; ///< DMC (Alg. 1) vs VMC sampling
+  /// Crowd-batched spline kernels behind the SPO mw_* calls; false runs
+  /// the per-walker scalar backend loops (bitwise-identical A/B knob).
+  bool spo_batched = true;
   /// Resume from a qmcxx-snap-v1 file instead of initializing a fresh
   /// population. The snapshot must match this spec's workload, variant,
   /// delay_rank (fingerprint), seed, tau, and precision; the run then

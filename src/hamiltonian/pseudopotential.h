@@ -105,17 +105,25 @@ public:
                          static_cast<double>(rdz[a])};
         const Pos e_hat = (-1.0 / r) * to_ion; // unit vector ion -> electron
         const FullPrecReal v_r = ch.radial(r);
-        FullPrecReal angular = 0.0;
-        for (int q = 0; q < quad_.size(); ++q)
+        // Stage the whole angular fan (same radius r, new direction n_q
+        // about the ion) and hand it to the wavefunction in one call:
+        // the determinants batch the fan through SPOSet::mw_evaluate_v
+        // (crowd-vectorized Bspline-v) with ratios bitwise identical to
+        // the per-point make_move/calc_ratio/reject_move sequence.
+        const int nq = quad_.size();
+        if (static_cast<int>(vpos_.size()) < nq)
         {
-          const Pos& n_q = quad_.points[q];
-          const FullPrecReal cos_theta = dot(e_hat, n_q);
-          // Virtual move: same radius r, new direction n_q about the ion.
-          const Pos r_new = r_i + to_ion + r * n_q;
-          p.make_move(i, r_new);
-          const FullPrecReal ratio = twf.calc_ratio(p, i);
-          p.reject_move(i);
-          angular += quad_.weights[q] * legendre_p(ch.l, cos_theta) * ratio;
+          vpos_.resize(nq);
+          qratios_.resize(nq);
+        }
+        for (int q = 0; q < nq; ++q)
+          vpos_[q] = r_i + to_ion + r * quad_.points[q];
+        twf.calc_ratios(p, i, vpos_.data(), nq, qratios_.data());
+        FullPrecReal angular = 0.0;
+        for (int q = 0; q < nq; ++q)
+        {
+          const FullPrecReal cos_theta = dot(e_hat, quad_.points[q]);
+          angular += quad_.weights[q] * legendre_p(ch.l, cos_theta) * qratios_[q];
         }
         e_nl += v_r * (2 * ch.l + 1) * angular;
       }
@@ -134,6 +142,8 @@ private:
   SphericalQuadrature quad_;
   std::vector<int> ion_species_;
   std::vector<TR> rd_, rdx_, rdy_, rdz_; ///< per-evaluate row snapshot
+  std::vector<Pos> vpos_;                ///< staged quadrature fan positions
+  std::vector<double> qratios_;          ///< batched per-point ratios
 };
 
 } // namespace qmcxx

@@ -157,6 +157,213 @@ void MultiBspline3D<T>::evaluate_vgh(const T u[3], const SplineVGHResult<T>& out
     }
 }
 
+namespace
+{
+/// Hoist the crowd's per-position stencil computations out of the
+/// coefficient sweep: all 3*np stencils are computed once up front into
+/// thread-local storage and reused for every spline block.
+template<typename T>
+std::vector<SplineStencil<T>>& hoisted_stencils(const T (*u)[3], int np, const int n[3])
+{
+  static thread_local std::vector<SplineStencil<T>> stencils;
+  if (stencils.size() < static_cast<std::size_t>(3 * np))
+    stencils.resize(static_cast<std::size_t>(3 * np));
+  for (int ip = 0; ip < np; ++ip)
+  {
+    stencils[static_cast<std::size_t>(3 * ip) + 0].compute(u[ip][0], n[0]);
+    stencils[static_cast<std::size_t>(3 * ip) + 1].compute(u[ip][1], n[1]);
+    stencils[static_cast<std::size_t>(3 * ip) + 2].compute(u[ip][2], n[2]);
+  }
+  return stencils;
+}
+} // namespace
+
+template<typename T>
+void MultiBspline3D<T>::evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                                         std::size_t pos_stride) const
+{
+  if (np <= 0)
+    return;
+  const auto& stencils = hoisted_stencils(u, np, n_);
+  const std::size_t ns = nsp_;
+  const std::size_t L = nsp_;
+  const T* __restrict coefs = coefs_.data();
+  // Block the padded spline dimension so each position's accumulator
+  // slice stays cache-resident while its 64 coefficient slabs stream by.
+  constexpr std::size_t BLOCK = 4096 / sizeof(T);
+  for (std::size_t s0 = 0; s0 < ns; s0 += BLOCK)
+  {
+    const std::size_t bs = std::min(BLOCK, ns - s0);
+    for (int ip = 0; ip < np; ++ip)
+    {
+      const SplineStencil<T>& sx = stencils[static_cast<std::size_t>(3 * ip) + 0];
+      const SplineStencil<T>& sy = stencils[static_cast<std::size_t>(3 * ip) + 1];
+      const SplineStencil<T>& sz = stencils[static_cast<std::size_t>(3 * ip) + 2];
+      T* __restrict out = vals + static_cast<std::size_t>(ip) * pos_stride + s0;
+      std::fill(out, out + bs, T{});
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+        {
+          const T pre = sx.a[i] * sy.a[j];
+          T w[4];
+          for (int k = 0; k < 4; ++k)
+            w[k] = pre * sz.a[k];
+          const T* __restrict line = coefs + index(sx.i0 + i, sy.i0 + j, sz.i0) + s0;
+          if (!(i == 3 && j == 3))
+          {
+            // Prefetch the next (i,j) coefficient line while this one
+            // is consumed; its 4 k-slabs are contiguous in memory.
+            const int ni = (j == 3) ? i + 1 : i;
+            const int nj = (j == 3) ? 0 : j + 1;
+            const T* nline = coefs + index(sx.i0 + ni, sy.i0 + nj, sz.i0) + s0;
+            for (int k = 0; k < 4; ++k)
+              prefetch_read(nline + static_cast<std::size_t>(k) * L, bs);
+          }
+          // Fused k-pass: one sweep over the block accumulates all four
+          // k-slabs. Bitwise identical to the scalar kernel's four
+          // separate sweeps: per element the adds land in the same order
+          // with the same fused multiply-add statement shape.
+#pragma omp simd
+          for (std::size_t s = 0; s < bs; ++s)
+          {
+            T acc = out[s];
+            acc += w[0] * line[s];
+            acc += w[1] * line[L + s];
+            acc += w[2] * line[2 * L + s];
+            acc += w[3] * line[3 * L + s];
+            out[s] = acc;
+          }
+        }
+    }
+  }
+}
+
+template<typename T>
+void MultiBspline3D<T>::evaluate_vgh_multi(const T (*u)[3], int np,
+                                           const SplineVGHMultiResult<T>& out) const
+{
+  if (np <= 0)
+    return;
+  const auto& stencils = hoisted_stencils(u, np, n_);
+  const std::size_t ns = nsp_;
+  const std::size_t L = nsp_;
+  const T* __restrict coefs = coefs_.data();
+  // Ten accumulator slices per position: keep the block small enough
+  // that all of them plus the streamed coefficient line fit in L1.
+  constexpr std::size_t BLOCK = 1024 / sizeof(T);
+  for (std::size_t s0 = 0; s0 < ns; s0 += BLOCK)
+  {
+    const std::size_t bs = std::min(BLOCK, ns - s0);
+    for (int ip = 0; ip < np; ++ip)
+    {
+      const SplineStencil<T>& sx = stencils[static_cast<std::size_t>(3 * ip) + 0];
+      const SplineStencil<T>& sy = stencils[static_cast<std::size_t>(3 * ip) + 1];
+      const SplineStencil<T>& sz = stencils[static_cast<std::size_t>(3 * ip) + 2];
+      const std::size_t off = static_cast<std::size_t>(ip) * out.pos_stride + s0;
+      T* __restrict vo = out.v + off;
+      T* __restrict gxo = out.g[0] + off;
+      T* __restrict gyo = out.g[1] + off;
+      T* __restrict gzo = out.g[2] + off;
+      T* __restrict hxxo = out.h[0] + off;
+      T* __restrict hxyo = out.h[1] + off;
+      T* __restrict hxzo = out.h[2] + off;
+      T* __restrict hyyo = out.h[3] + off;
+      T* __restrict hyzo = out.h[4] + off;
+      T* __restrict hzzo = out.h[5] + off;
+      std::fill(vo, vo + bs, T{});
+      std::fill(gxo, gxo + bs, T{});
+      std::fill(gyo, gyo + bs, T{});
+      std::fill(gzo, gzo + bs, T{});
+      std::fill(hxxo, hxxo + bs, T{});
+      std::fill(hxyo, hxyo + bs, T{});
+      std::fill(hxzo, hxzo + bs, T{});
+      std::fill(hyyo, hyyo + bs, T{});
+      std::fill(hyzo, hyzo + bs, T{});
+      std::fill(hzzo, hzzo + bs, T{});
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+        {
+          const T pv = sx.a[i] * sy.a[j];
+          const T pdx = sx.da[i] * sy.a[j];
+          const T pdy = sx.a[i] * sy.da[j];
+          const T pdxx = sx.d2a[i] * sy.a[j];
+          const T pdxy = sx.da[i] * sy.da[j];
+          const T pdyy = sx.a[i] * sy.d2a[j];
+          // All forty stencil-weight products are formed exactly as the
+          // scalar kernel forms them, hoisted out of the spline sweep.
+          T w[4], wx[4], wy[4], wz[4], wxx[4], wxy[4], wxz[4], wyy[4], wyz[4], wzz[4];
+          for (int k = 0; k < 4; ++k)
+          {
+            const T za = sz.a[k];
+            const T zda = sz.da[k];
+            w[k] = pv * za;
+            wx[k] = pdx * za;
+            wy[k] = pdy * za;
+            wz[k] = pv * zda;
+            wxx[k] = pdxx * za;
+            wxy[k] = pdxy * za;
+            wxz[k] = pdx * zda;
+            wyy[k] = pdyy * za;
+            wyz[k] = pdy * zda;
+            wzz[k] = pv * sz.d2a[k];
+          }
+          const T* __restrict line = coefs + index(sx.i0 + i, sy.i0 + j, sz.i0) + s0;
+          if (!(i == 3 && j == 3))
+          {
+            const int ni = (j == 3) ? i + 1 : i;
+            const int nj = (j == 3) ? 0 : j + 1;
+            const T* nline = coefs + index(sx.i0 + ni, sy.i0 + nj, sz.i0) + s0;
+            for (int k = 0; k < 4; ++k)
+              prefetch_read(nline + static_cast<std::size_t>(k) * L, bs);
+          }
+          // One fused pass per coefficient line: the four k-slabs feed
+          // all ten accumulators in a single sweep instead of the
+          // scalar kernel's four separate ten-store sweeps. Statement
+          // order (k ascending, components in the scalar order) keeps
+          // the result bitwise identical.
+#pragma omp simd
+          for (std::size_t s = 0; s < bs; ++s)
+          {
+            T av = vo[s];
+            T agx = gxo[s];
+            T agy = gyo[s];
+            T agz = gzo[s];
+            T ahxx = hxxo[s];
+            T ahxy = hxyo[s];
+            T ahxz = hxzo[s];
+            T ahyy = hyyo[s];
+            T ahyz = hyzo[s];
+            T ahzz = hzzo[s];
+            for (int k = 0; k < 4; ++k)
+            {
+              const T cs = line[static_cast<std::size_t>(k) * L + s];
+              av += w[k] * cs;
+              agx += wx[k] * cs;
+              agy += wy[k] * cs;
+              agz += wz[k] * cs;
+              ahxx += wxx[k] * cs;
+              ahxy += wxy[k] * cs;
+              ahxz += wxz[k] * cs;
+              ahyy += wyy[k] * cs;
+              ahyz += wyz[k] * cs;
+              ahzz += wzz[k] * cs;
+            }
+            vo[s] = av;
+            gxo[s] = agx;
+            gyo[s] = agy;
+            gzo[s] = agz;
+            hxxo[s] = ahxx;
+            hxyo[s] = ahxy;
+            hxzo[s] = ahxz;
+            hyyo[s] = ahyy;
+            hyzo[s] = ahyz;
+            hzzo[s] = ahzz;
+          }
+        }
+    }
+  }
+}
+
 // --------------------------------------------------------------------
 // BsplineSetAoS (reference layout)
 // --------------------------------------------------------------------
@@ -264,6 +471,34 @@ void BsplineSetAoS<T>::evaluate_vgh(const T u[3], const SplineVGHResult<T>& out)
   }
 }
 
+template<typename T>
+void BsplineSetAoS<T>::evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                                        std::size_t pos_stride) const
+{
+  // Flat per-position loop over the scalar kernel: the AoS reference
+  // layout has no crowd-level reuse to exploit, but taking the batched
+  // interface keeps it bitwise-interchangeable with the SoA engines.
+  // Only [0, num_splines) of each row is written; padding lanes keep
+  // whatever the caller staged (zero, per the mw contract).
+  for (int ip = 0; ip < np; ++ip)
+    evaluate_v(u[ip], vals + static_cast<std::size_t>(ip) * pos_stride);
+}
+
+template<typename T>
+void BsplineSetAoS<T>::evaluate_vgh_multi(const T (*u)[3], int np,
+                                          const SplineVGHMultiResult<T>& out) const
+{
+  for (int ip = 0; ip < np; ++ip)
+  {
+    const std::size_t off = static_cast<std::size_t>(ip) * out.pos_stride;
+    const SplineVGHResult<T> one{out.v + off,
+                                 {out.g[0] + off, out.g[1] + off, out.g[2] + off},
+                                 {out.h[0] + off, out.h[1] + off, out.h[2] + off,
+                                  out.h[3] + off, out.h[4] + off, out.h[5] + off}};
+    evaluate_vgh(u[ip], one);
+  }
+}
+
 // --------------------------------------------------------------------
 // MultiBsplineTiled (AoSoA extension, paper Sec. 8.4)
 // --------------------------------------------------------------------
@@ -293,15 +528,31 @@ T MultiBsplineTiled<T>::get_coef(int s, int ix, int iy, int iz) const
   return tiles_[s / tile_width_].get_coef(s % tile_width_, ix, iy, iz);
 }
 
+namespace
+{
+/// Thread-local tile staging, grown on demand and reused across calls
+/// (the per-call aligned_vector here used to dominate small-tile
+/// evaluation with allocator traffic -- same cure as VGLScratch in the
+/// SPO layer).
+template<typename T>
+T* tile_scratch(std::size_t need)
+{
+  static thread_local aligned_vector<T> scratch;
+  if (scratch.size() < need)
+    scratch.resize(need);
+  return scratch.data();
+}
+} // namespace
+
 template<typename T>
 void MultiBsplineTiled<T>::evaluate_v(const T u[3], T* __restrict vals) const
 {
   // Each tile writes into its padded scratch, then results are packed
   // back into the caller's contiguous layout.
-  aligned_vector<T> scratch(getAlignedSize<T>(tile_width_));
+  T* scratch = tile_scratch<T>(getAlignedSize<T>(static_cast<std::size_t>(tile_width_)));
   for (std::size_t t = 0; t < tiles_.size(); ++t)
   {
-    tiles_[t].evaluate_v(u, scratch.data());
+    tiles_[t].evaluate_v(u, scratch);
     const int first = static_cast<int>(t) * tile_width_;
     const int count = tiles_[t].num_splines();
     for (int s = 0; s < count; ++s)
@@ -312,14 +563,15 @@ void MultiBsplineTiled<T>::evaluate_v(const T u[3], T* __restrict vals) const
 template<typename T>
 void MultiBsplineTiled<T>::evaluate_vgh(const T u[3], const SplineVGHResult<T>& out) const
 {
-  const std::size_t np = getAlignedSize<T>(tile_width_);
-  aligned_vector<T> scratch(10 * np);
+  const std::size_t npadt = getAlignedSize<T>(static_cast<std::size_t>(tile_width_));
+  T* scratch = tile_scratch<T>(10 * npadt);
   for (std::size_t t = 0; t < tiles_.size(); ++t)
   {
-    SplineVGHResult<T> tile_out{scratch.data(),
-                                {&scratch[np], &scratch[2 * np], &scratch[3 * np]},
-                                {&scratch[4 * np], &scratch[5 * np], &scratch[6 * np],
-                                 &scratch[7 * np], &scratch[8 * np], &scratch[9 * np]}};
+    const SplineVGHResult<T> tile_out{scratch,
+                                      {scratch + npadt, scratch + 2 * npadt, scratch + 3 * npadt},
+                                      {scratch + 4 * npadt, scratch + 5 * npadt,
+                                       scratch + 6 * npadt, scratch + 7 * npadt,
+                                       scratch + 8 * npadt, scratch + 9 * npadt}};
     tiles_[t].evaluate_vgh(u, tile_out);
     const int first = static_cast<int>(t) * tile_width_;
     const int count = tiles_[t].num_splines();
@@ -327,10 +579,72 @@ void MultiBsplineTiled<T>::evaluate_vgh(const T u[3], const SplineVGHResult<T>& 
     {
       out.v[first + s] = scratch[s];
       for (int d = 0; d < 3; ++d)
-        out.g[d][first + s] = scratch[(1 + d) * np + s];
+        out.g[d][first + s] = scratch[static_cast<std::size_t>(1 + d) * npadt + s];
       for (int h = 0; h < 6; ++h)
-        out.h[h][first + s] = scratch[(4 + h) * np + s];
+        out.h[h][first + s] = scratch[static_cast<std::size_t>(4 + h) * npadt + s];
     }
+  }
+}
+
+template<typename T>
+void MultiBsplineTiled<T>::evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                                            std::size_t pos_stride) const
+{
+  if (np <= 0)
+    return;
+  // Component-major tile staging: position ip's tile values live at
+  // ip * npadt. Each tile runs its batched SoA kernel (bitwise equal to
+  // its scalar kernel), so the packed result matches np scalar calls.
+  const std::size_t npadt = getAlignedSize<T>(static_cast<std::size_t>(tile_width_));
+  T* scratch = tile_scratch<T>(static_cast<std::size_t>(np) * npadt);
+  for (std::size_t t = 0; t < tiles_.size(); ++t)
+  {
+    tiles_[t].evaluate_v_multi(u, np, scratch, npadt);
+    const int first = static_cast<int>(t) * tile_width_;
+    const int count = tiles_[t].num_splines();
+    for (int ip = 0; ip < np; ++ip)
+    {
+      const T* __restrict src = scratch + static_cast<std::size_t>(ip) * npadt;
+      T* __restrict dst = vals + static_cast<std::size_t>(ip) * pos_stride + first;
+      for (int s = 0; s < count; ++s)
+        dst[s] = src[s];
+    }
+  }
+}
+
+template<typename T>
+void MultiBsplineTiled<T>::evaluate_vgh_multi(const T (*u)[3], int np,
+                                              const SplineVGHMultiResult<T>& out) const
+{
+  if (np <= 0)
+    return;
+  const std::size_t npadt = getAlignedSize<T>(static_cast<std::size_t>(tile_width_));
+  const std::size_t comp = static_cast<std::size_t>(np) * npadt;
+  T* scratch = tile_scratch<T>(10 * comp);
+  const SplineVGHMultiResult<T> tile_out{scratch,
+                                         {scratch + comp, scratch + 2 * comp, scratch + 3 * comp},
+                                         {scratch + 4 * comp, scratch + 5 * comp,
+                                          scratch + 6 * comp, scratch + 7 * comp,
+                                          scratch + 8 * comp, scratch + 9 * comp},
+                                         npadt};
+  for (std::size_t t = 0; t < tiles_.size(); ++t)
+  {
+    tiles_[t].evaluate_vgh_multi(u, np, tile_out);
+    const int first = static_cast<int>(t) * tile_width_;
+    const int count = tiles_[t].num_splines();
+    const T* comps_in[10] = {tile_out.v,    tile_out.g[0], tile_out.g[1], tile_out.g[2],
+                             tile_out.h[0], tile_out.h[1], tile_out.h[2], tile_out.h[3],
+                             tile_out.h[4], tile_out.h[5]};
+    T* comps_out[10] = {out.v,    out.g[0], out.g[1], out.g[2], out.h[0],
+                        out.h[1], out.h[2], out.h[3], out.h[4], out.h[5]};
+    for (int c = 0; c < 10; ++c)
+      for (int ip = 0; ip < np; ++ip)
+      {
+        const T* __restrict src = comps_in[c] + static_cast<std::size_t>(ip) * npadt;
+        T* __restrict dst = comps_out[c] + static_cast<std::size_t>(ip) * out.pos_stride + first;
+        for (int s = 0; s < count; ++s)
+          dst[s] = src[s];
+      }
   }
 }
 

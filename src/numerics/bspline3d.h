@@ -79,6 +79,20 @@ struct SplineVGHResult
   T* h[6];
 };
 
+/// Result views for the multi-position (crowd-batched) vgh kernels:
+/// position ip's component-c array starts at the component pointer plus
+/// ip * pos_stride, so a component-major staging block (e.g. the
+/// SPOVGLBatch::vgh matrix, pos_stride = padded row stride) binds
+/// directly without per-position pointer tables.
+template<typename T>
+struct SplineVGHMultiResult
+{
+  T* v;
+  T* g[3];
+  T* h[6];
+  std::size_t pos_stride; ///< element stride between consecutive positions
+};
+
 /// SoA multi-spline: all orbitals share one coefficient lattice with the
 /// spline index innermost and padded to the SIMD alignment.
 template<typename T>
@@ -105,6 +119,19 @@ public:
 
   /// Values, reduced-coordinate gradients and Hessians of all splines.
   void evaluate_vgh(const T u[3], const SplineVGHResult<T>& out) const;
+
+  /// Crowd-batched value kernel: np reduced coordinates evaluated in one
+  /// call, position ip writing vals + ip * pos_stride. Bitwise identical
+  /// to np scalar evaluate_v calls; the batched form hoists the stencil
+  /// computations, fuses the k-slabs of each (i,j) coefficient line into
+  /// one accumulation pass, prefetches the next line and blocks over the
+  /// padded spline dimension so the crowd's accumulators stay in cache.
+  void evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                        std::size_t pos_stride) const;
+
+  /// Crowd-batched vgh kernel; same contract and bitwise guarantee as
+  /// evaluate_v_multi for all ten component arrays.
+  void evaluate_vgh_multi(const T (*u)[3], int np, const SplineVGHMultiResult<T>& out) const;
 
 private:
   std::size_t index(int ix, int iy, int iz) const
@@ -144,6 +171,13 @@ public:
 
   void evaluate_v(const T u[3], T* __restrict vals) const;
   void evaluate_vgh(const T u[3], const SplineVGHResult<T>& out) const;
+
+  /// Flat per-position loops over the scalar kernels: the reference
+  /// layout takes the batched interface too, so AoS/SoA engines stay
+  /// bitwise-interchangeable behind one mw call shape.
+  void evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                        std::size_t pos_stride) const;
+  void evaluate_vgh_multi(const T (*u)[3], int np, const SplineVGHMultiResult<T>& out) const;
 
 private:
   std::size_t index(int ix, int iy, int iz) const
@@ -191,6 +225,14 @@ public:
   /// arrays padded to getAlignedSize<T>(num_splines).
   void evaluate_v(const T u[3], T* __restrict vals) const;
   void evaluate_vgh(const T u[3], const SplineVGHResult<T>& out) const;
+
+  /// Crowd-batched kernels: each tile runs its batched SoA kernel into
+  /// tile-local staging, then results are packed into the caller's
+  /// MultiBspline3D-compatible layout. Bitwise identical to np scalar
+  /// calls (which are themselves identical to the untiled SoA engine).
+  void evaluate_v_multi(const T (*u)[3], int np, T* __restrict vals,
+                        std::size_t pos_stride) const;
+  void evaluate_vgh_multi(const T (*u)[3], int np, const SplineVGHMultiResult<T>& out) const;
 
 private:
   int ns_ = 0;

@@ -127,6 +127,45 @@ public:
     return cur_ratio_;
   }
 
+  /// Batched NLPP fan: hand all nr quadrature positions to the SPO set
+  /// in one mw_evaluate_v call (Bspline-v runs crowd-batched over the
+  /// fan), then reduce every row against the same inverse row. Bitwise
+  /// identical to the scalar make_move/ratio/reject_move sweep: the
+  /// batched spline kernels match the scalar ones bitwise, the proposed
+  /// positions reach the coordinate fold verbatim either way, and the
+  /// dot reduction is the same code against the same inverse row.
+  void ratios_virtual(ParticleSet<TR>& p, int k, const Pos* vpos, int nr,
+                      double* ratios) override
+  {
+    (void)p;
+    if (!owns(k))
+    {
+      for (int q = 0; q < nr; ++q)
+        ratios[q] = 1.0; // moves of the other spin leave this determinant fixed
+      return;
+    }
+    if (nr <= 0)
+      return;
+    const int kl = k - first_;
+    if (vq_rows_ < nr)
+    {
+      vq_scratch_.resize(nr, spos_->num_orbitals(), /*pad_rows=*/true);
+      vq_rows_ = nr;
+    }
+    spos_->mw_evaluate_v(vpos, nr, vq_scratch_.data(), vq_scratch_.stride());
+    ScopedTimer timer(Kernel::DetRatio);
+    // One effective-row fetch for the whole fan: inverse_row is state-
+    // free (the delayed subclass recomputes the same corrected row on
+    // every call), so reuse across quadrature points is exact.
+    const TR* __restrict row = inverse_row(kl);
+    for (int q = 0; q < nr; ++q)
+      ratios[q] = static_cast<double>(
+          linalg::dot_n(vq_scratch_.row(q), row, static_cast<std::size_t>(nel_)));
+    // Same transient state as the scalar sweep ending on the last point.
+    cur_ratio_ = ratios[nr - 1];
+    cur_vgl_valid_ = false;
+  }
+
   double ratio_grad(ParticleSet<TR>& p, int k, Grad& grad) override
   {
     if (!owns(k))
@@ -416,15 +455,36 @@ protected:
     Matrix<double> a(nel_, nel_);
     for (int j = 0; j < nel_; ++j)
       a(kl, j) = static_cast<double>(pv[j]); // copy first: pv may alias psiv_
-    for (int i = 0; i < nel_; ++i)
+    // Batched row rebuild: gather the committed positions and evaluate
+    // every remaining Slater row in one mw_evaluate_v call.
+    const int nrows = nel_ - 1;
+    if (nrows > 0)
     {
-      if (i == kl)
-        continue;
-      // Degenerate-ratio recovery rebuild, same off-hot-path cadence.
-      // qmcxx-lint: allow(aos-in-hot-path)
-      spos_->evaluate_v(p.pos(first_ + i), psiv_.data());
-      for (int j = 0; j < nel_; ++j)
-        a(i, j) = static_cast<double>(psiv_[j]);
+      if (vrow_rows_ < nrows)
+      {
+        vrow_scratch_.resize(nrows, spos_->num_orbitals(), /*pad_rows=*/true);
+        vrow_rows_ = nrows;
+      }
+      pos_scratch_.resize(static_cast<std::size_t>(nrows));
+      int r = 0;
+      for (int i = 0; i < nel_; ++i)
+        if (i != kl)
+        {
+          // Degenerate-ratio recovery rebuild, off the per-move hot path.
+          // qmcxx-lint: allow(aos-in-hot-path)
+          pos_scratch_[static_cast<std::size_t>(r++)] = p.pos(first_ + i);
+        }
+      spos_->mw_evaluate_v(pos_scratch_.data(), nrows, vrow_scratch_.data(),
+                           vrow_scratch_.stride());
+      r = 0;
+      for (int i = 0; i < nel_; ++i)
+      {
+        if (i == kl)
+          continue;
+        const TR* __restrict row = vrow_scratch_.row(r++);
+        for (int j = 0; j < nel_; ++j)
+          a(i, j) = static_cast<double>(row[j]);
+      }
     }
     Matrix<double> ainv;
     FullPrecReal logdet = 0, sign = 1;
@@ -495,6 +555,14 @@ protected:
   Matrix<TR> d2psim_;                      // orbital laplacians at electrons
   aligned_vector<TR> psiv_, d2psiv_, workv_, rcopy_;
   VectorSoaContainer<TR, 3> dpsiv_;
+  // Batched value-fan staging (grown on demand, dim-guarded separately
+  // so the NLPP quadrature fan and the full-rebuild row sweep do not
+  // thrash each other's allocation).
+  Matrix<TR> vq_scratch_;   // quadrature fan rows (ratios_virtual)
+  Matrix<TR> vrow_scratch_; // rebuild rows (recompute_with_row)
+  int vq_rows_ = 0;
+  int vrow_rows_ = 0;
+  std::vector<Pos> pos_scratch_;
   FullPrecReal cur_ratio_ = 1.0;
   bool cur_vgl_valid_ = false;
   FullPrecReal sign_ = 1.0;

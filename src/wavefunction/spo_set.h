@@ -83,6 +83,7 @@ public:
     VectorSoaContainer<TR, 3> dpsi(norb_);
     for (int iw = 0; iw < nw; ++iw)
     {
+      // qmcxx-lint: allow(scalar-spo-in-crowd-path)
       evaluate_vgl(r[iw], out.psi.row(iw), dpsi, out.d2.row(iw));
       TR* __restrict gx = out.gx.row(iw);
       TR* __restrict gy = out.gy.row(iw);
@@ -93,6 +94,20 @@ public:
         gy[s] = dpsi(1, s);
         gz[s] = dpsi(2, s);
       }
+    }
+  }
+
+  /// Crowd-batched values: nr positions (a walker fan -- NLPP quadrature
+  /// points, virtual ratio moves, or determinant rebuild rows), position
+  /// i writing psi + i * pos_stride over [0, num_orbitals). The flat
+  /// fallback loops the scalar virtual; spline-backed sets hand the
+  /// whole fan to the backend in one call.
+  virtual void mw_evaluate_v(const Pos* r, int nr, TR* psi, std::size_t pos_stride)
+  {
+    for (int i = 0; i < nr; ++i)
+    {
+      // qmcxx-lint: allow(scalar-spo-in-crowd-path)
+      evaluate_v(r[i], psi + static_cast<std::size_t>(i) * pos_stride);
     }
   }
 
@@ -160,51 +175,120 @@ public:
     }
     {
       ScopedTimer timer(Kernel::SPOvgl);
-      transform_vgh(1, s.v[0].data(), s.v[1].data(), s.v[2].data(), s.v[3].data(), s.v[4].data(),
+      transform_vgh(s.v[0].data(), s.v[1].data(), s.v[2].data(), s.v[3].data(), s.v[4].data(),
                     s.v[5].data(), s.v[6].data(), s.v[7].data(), s.v[8].data(), s.v[9].data(),
                     this->norb_, psi, dpsi.data(0), dpsi.data(1), dpsi.data(2), d2psi);
     }
   }
 
   /// Batched vgl: evaluate the reduced-coordinate vgh for every walker
-  /// into the batch's component-major staging blocks, then run the cell
-  /// transform once over all walkers as a single unit-stride sweep.
-  /// Amortizes the timer scopes and virtual dispatch over the crowd and
-  /// gives the SPO-vgl kernel a trip count of num_walkers x norb.
+  /// into the batch's component-major staging blocks in one backend
+  /// call, then run the cell transform once over all walkers as a
+  /// single unit-stride sweep. Amortizes the timer scopes and virtual
+  /// dispatch over the crowd and gives the SPO-vgl kernel a trip count
+  /// of num_walkers x norb.
   void mw_evaluate_vgl(const Pos* r, int nw, SPOVGLBatch<TR>& out) override
   {
+    if (nw <= 0)
+      return;
     out.resize(nw, this->norb_);
     const std::size_t stride = out.stride();
     {
       ScopedTimer timer(Kernel::BsplineVGH);
-      for (int iw = 0; iw < nw; ++iw)
+      if (batched_kernels_)
       {
-        const Pos u = lattice_.to_unit_folded(r[iw]);
-        const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
-        SplineVGHResult<TR> res{out.vgh_row(0, iw),
-                                {out.vgh_row(1, iw), out.vgh_row(2, iw), out.vgh_row(3, iw)},
-                                {out.vgh_row(4, iw), out.vgh_row(5, iw), out.vgh_row(6, iw),
-                                 out.vgh_row(7, iw), out.vgh_row(8, iw), out.vgh_row(9, iw)}};
-        backend_->evaluate_vgh(ur, res);
+        // The component-major staging blocks bind directly to the multi
+        // kernel: block c is nw contiguous rows, so pos_stride is the
+        // padded row stride.
+        const SplineVGHMultiResult<TR> res{out.vgh_block(0),
+                                           {out.vgh_block(1), out.vgh_block(2), out.vgh_block(3)},
+                                           {out.vgh_block(4), out.vgh_block(5), out.vgh_block(6),
+                                            out.vgh_block(7), out.vgh_block(8), out.vgh_block(9)},
+                                           stride};
+        backend_->evaluate_vgh_multi(fold_positions(r, nw), nw, res);
+      }
+      else
+      {
+        for (int iw = 0; iw < nw; ++iw)
+        {
+          const Pos u = lattice_.to_unit_folded(r[iw]);
+          const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+          SplineVGHResult<TR> res{out.vgh_row(0, iw),
+                                  {out.vgh_row(1, iw), out.vgh_row(2, iw), out.vgh_row(3, iw)},
+                                  {out.vgh_row(4, iw), out.vgh_row(5, iw), out.vgh_row(6, iw),
+                                   out.vgh_row(7, iw), out.vgh_row(8, iw), out.vgh_row(9, iw)}};
+          backend_->evaluate_vgh(ur, res);
+        }
       }
     }
     {
       ScopedTimer timer(Kernel::SPOvgl);
-      // Component blocks are contiguous across walkers (padding included
-      // in the sweep; padded lanes hold zeros from the backend).
-      transform_vgh(nw, out.vgh_block(0), out.vgh_block(1), out.vgh_block(2), out.vgh_block(3),
+      // Walker-exact sweep: component blocks are contiguous across
+      // walkers, and every padding lane before the last real row is
+      // zero in staging (zero coefficients or never written over the
+      // zero fill), so stopping at the last walker's last real orbital
+      // is bitwise-equivalent to sweeping the full padded block.
+      transform_vgh(out.vgh_block(0), out.vgh_block(1), out.vgh_block(2), out.vgh_block(3),
                     out.vgh_block(4), out.vgh_block(5), out.vgh_block(6), out.vgh_block(7),
-                    out.vgh_block(8), out.vgh_block(9), static_cast<int>(stride * nw),
+                    out.vgh_block(8), out.vgh_block(9),
+                    static_cast<int>(stride * static_cast<std::size_t>(nw - 1)) + this->norb_,
                     out.psi.data(), out.gx.data(), out.gy.data(), out.gz.data(), out.d2.data());
     }
   }
 
+  /// Crowd-batched values (the Bspline-v fan): one backend call for all
+  /// nr positions when batched kernels are enabled.
+  void mw_evaluate_v(const Pos* r, int nr, TR* psi, std::size_t pos_stride) override
+  {
+    if (nr <= 0)
+      return;
+    ScopedTimer timer(Kernel::BsplineV);
+    if (batched_kernels_)
+    {
+      backend_->evaluate_v_multi(fold_positions(r, nr), nr, psi, pos_stride);
+    }
+    else
+    {
+      for (int i = 0; i < nr; ++i)
+      {
+        const Pos u = lattice_.to_unit_folded(r[i]);
+        const TR ur[3] = {static_cast<TR>(u[0]), static_cast<TR>(u[1]), static_cast<TR>(u[2])};
+        // qmcxx-lint: allow(scalar-spo-in-crowd-path)
+        backend_->evaluate_v(ur, psi + static_cast<std::size_t>(i) * pos_stride);
+      }
+    }
+  }
+
+  /// Toggle between the crowd-batched backend kernels and the per-walker
+  /// scalar loops -- the A/B knob for the benches and the chain-parity
+  /// tests. Results are bitwise identical either way.
+  void set_batched_kernels(bool on) { batched_kernels_ = on; }
+  bool batched_kernels() const { return batched_kernels_; }
+
 private:
+  /// Fold nw Cartesian positions to reduced coordinates in thread-local
+  /// staging, returned as the (*)[3] view the batched backend kernels
+  /// take. Thread-local for the same reason as VGLScratch: SPO sets are
+  /// shared between per-thread wavefunction clones.
+  const TR (*fold_positions(const Pos* r, int nw) const)[3]
+  {
+    static thread_local aligned_vector<TR> ubuf;
+    if (ubuf.size() < static_cast<std::size_t>(3 * nw))
+      ubuf.resize(static_cast<std::size_t>(3 * nw));
+    for (int iw = 0; iw < nw; ++iw)
+    {
+      const Pos u = lattice_.to_unit_folded(r[iw]);
+      ubuf[static_cast<std::size_t>(3 * iw) + 0] = static_cast<TR>(u[0]);
+      ubuf[static_cast<std::size_t>(3 * iw) + 1] = static_cast<TR>(u[1]);
+      ubuf[static_cast<std::size_t>(3 * iw) + 2] = static_cast<TR>(u[2]);
+    }
+    return reinterpret_cast<const TR(*)[3]>(ubuf.data());
+  }
   /// SPO-vgl: Cartesian gradient g_i = sum_a dua/dxi * gu_a and
   /// laplacian = sum_ab M_ab H_ab (reduced-coordinate hessian trace),
-  /// over `count` contiguous lanes (norb for one walker, nw * stride for
-  /// a crowd batch).
-  void transform_vgh(int /*nw*/, const TR* __restrict vals, const TR* __restrict g0,
+  /// over `count` contiguous lanes (norb for one walker; the walker-
+  /// exact (nw-1) * stride + norb for a crowd batch).
+  void transform_vgh(const TR* __restrict vals, const TR* __restrict g0,
                      const TR* __restrict g1, const TR* __restrict g2, const TR* __restrict xx,
                      const TR* __restrict xy, const TR* __restrict xz, const TR* __restrict yy,
                      const TR* __restrict yz, const TR* __restrict zz, int count,
@@ -262,6 +346,7 @@ private:
   std::shared_ptr<Backend> backend_;
   TR gmat_[3][3];
   TR lap_metric_[6];
+  bool batched_kernels_ = true;
 };
 
 template<typename TR>

@@ -80,6 +80,26 @@ public:
     return r;
   }
 
+  /// Value-only ratios for a fan of nr virtual positions of particle k
+  /// (the NLPP angular quadrature): ratios[q] = psi(r_q)/psi(R). Each
+  /// component sees the whole fan at once (batched SPO evaluation in
+  /// the determinants); per-position products accumulate in component
+  /// order, so every ratios[q] is bitwise identical to the scalar
+  /// make_move/calc_ratio/reject_move sequence over the fan.
+  void calc_ratios(ParticleSet<TR>& p, int k, const Pos* vpos, int nr, double* ratios)
+  {
+    for (int q = 0; q < nr; ++q)
+      ratios[q] = 1.0;
+    if (ratio_fan_scratch_.size() < static_cast<std::size_t>(nr))
+      ratio_fan_scratch_.resize(static_cast<std::size_t>(nr));
+    for (auto& c : components_)
+    {
+      c->ratios_virtual(p, k, vpos, nr, ratio_fan_scratch_.data());
+      for (int q = 0; q < nr; ++q)
+        ratios[q] *= ratio_fan_scratch_[q];
+    }
+  }
+
   /// Ratio and gradient of log psi at the proposed position. Not
   /// [[nodiscard]]: callers may invoke it purely to stage component
   /// state for accept_move (the ratio is a by-product there).
@@ -311,6 +331,7 @@ private:
   std::vector<std::unique_ptr<WaveFunctionComponent<TR>>> components_;
   std::vector<Grad> g_;
   std::vector<double> l_;
+  std::vector<double> ratio_fan_scratch_; // per-component fan ratios (calc_ratios)
   FullPrecReal log_value_ = 0.0;
 };
 

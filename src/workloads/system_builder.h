@@ -58,6 +58,11 @@ struct BuildOptions
   /// bitwise-identical legacy path); values > 1 build
   /// DiracDeterminantDelayed for both spin blocks.
   int delay_rank = 1;
+  /// Crowd-batched spline kernels (evaluate_v_multi/evaluate_vgh_multi)
+  /// behind the SPO mw_* calls; false selects the per-walker scalar
+  /// backend loops. Results are bitwise identical either way (the A/B
+  /// knob for benches and chain-parity tests).
+  bool spo_batched = true;
 };
 
 template<typename TR>
@@ -117,13 +122,17 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
     {
       auto backend = std::make_shared<MultiBspline3D<TR>>();
       fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, info.num_orbitals, opt.seed);
-      sys.spos = std::make_shared<BsplineSPOSetSoA<TR>>(info.lattice, backend);
+      auto spos = std::make_shared<BsplineSPOSetSoA<TR>>(info.lattice, backend);
+      spos->set_batched_kernels(opt.spo_batched);
+      sys.spos = std::move(spos);
     }
     else
     {
       auto backend = std::make_shared<BsplineSetAoS<TR>>();
       fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, info.num_orbitals, opt.seed);
-      sys.spos = std::make_shared<BsplineSPOSetAoS<TR>>(info.lattice, backend);
+      auto spos = std::make_shared<BsplineSPOSetAoS<TR>>(info.lattice, backend);
+      spos->set_batched_kernels(opt.spo_batched);
+      sys.spos = std::move(spos);
     }
   }
 

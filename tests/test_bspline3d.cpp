@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "numerics/bspline3d.h"
@@ -303,4 +304,121 @@ TEST(MultiBsplineTiled, CoefficientRoundTrip)
   EXPECT_EQ(tiled.get_coef(9, 3, 4, 5), 2.5f);
   EXPECT_EQ(tiled.num_tiles(), 3);
   EXPECT_GT(tiled.coefficient_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Crowd-batched kernels (PR 8): bitwise parity with the scalar paths
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/// Drive evaluate_v_multi / evaluate_vgh_multi against per-position
+/// scalar calls and require bit-for-bit identical output buffers
+/// (including the padding lanes, which both paths leave at +0.0).
+template<typename T, typename Backend>
+void expect_batched_bitwise(Backend& set, int ns, int npos)
+{
+  const std::size_t stride = getAlignedSize<T>(static_cast<std::size_t>(ns));
+  std::vector<T> ubuf(static_cast<std::size_t>(3 * npos));
+  for (int ip = 0; ip < npos; ++ip)
+  {
+    ubuf[static_cast<std::size_t>(3 * ip) + 0] = static_cast<T>(std::fmod(0.137 + 0.318 * ip, 1.0));
+    ubuf[static_cast<std::size_t>(3 * ip) + 1] = static_cast<T>(std::fmod(0.522 + 0.271 * ip, 1.0));
+    ubuf[static_cast<std::size_t>(3 * ip) + 2] = static_cast<T>(std::fmod(0.911 + 0.143 * ip, 1.0));
+  }
+  const auto* u = reinterpret_cast<const T(*)[3]>(ubuf.data());
+
+  // Value kernel.
+  aligned_vector<T> vm(static_cast<std::size_t>(npos) * stride, T(0));
+  aligned_vector<T> vs(static_cast<std::size_t>(npos) * stride, T(0));
+  set.evaluate_v_multi(u, npos, vm.data(), stride);
+  for (int ip = 0; ip < npos; ++ip)
+    set.evaluate_v(u[ip], vs.data() + static_cast<std::size_t>(ip) * stride);
+  ASSERT_EQ(0, std::memcmp(vm.data(), vs.data(), vm.size() * sizeof(T)))
+      << "evaluate_v_multi differs from scalar (ns=" << ns << " npos=" << npos << ")";
+
+  // vgh kernel: component-major staging, pos_stride = padded stride.
+  const std::size_t comp = static_cast<std::size_t>(npos) * stride;
+  aligned_vector<T> m(10 * comp, T(0)), s(10 * comp, T(0));
+  const SplineVGHMultiResult<T> rm{m.data(),
+                                   {&m[comp], &m[2 * comp], &m[3 * comp]},
+                                   {&m[4 * comp], &m[5 * comp], &m[6 * comp], &m[7 * comp],
+                                    &m[8 * comp], &m[9 * comp]},
+                                   stride};
+  set.evaluate_vgh_multi(u, npos, rm);
+  for (int ip = 0; ip < npos; ++ip)
+  {
+    const std::size_t off = static_cast<std::size_t>(ip) * stride;
+    const SplineVGHResult<T> rs{&s[off],
+                                {&s[comp + off], &s[2 * comp + off], &s[3 * comp + off]},
+                                {&s[4 * comp + off], &s[5 * comp + off], &s[6 * comp + off],
+                                 &s[7 * comp + off], &s[8 * comp + off], &s[9 * comp + off]}};
+    set.evaluate_vgh(u[ip], rs);
+  }
+  ASSERT_EQ(0, std::memcmp(m.data(), s.data(), m.size() * sizeof(T)))
+      << "evaluate_vgh_multi differs from scalar (ns=" << ns << " npos=" << npos << ")";
+}
+
+/// All three backends x np in {1, 3, 8} on a deliberately non-padded
+/// orbital count (ns = 7 pads to the SIMD width for both precisions).
+template<typename T>
+void run_multi_parity_all_backends()
+{
+  const int n = 10;
+  const int ns = 7;
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < ns; ++s)
+    samples.push_back(plane_wave_samples(n, n, n, 1 + s % 2, s % 3, 1));
+
+  MultiBspline3D<T> soa;
+  soa.resize(n, n, n, ns);
+  fit_splines_periodic<T>(soa, n, n, n, samples);
+  BsplineSetAoS<T> aos;
+  aos.resize(n, n, n, ns);
+  fit_splines_periodic<T>(aos, n, n, n, samples);
+  MultiBsplineTiled<T> tiled;
+  tiled.resize(n, n, n, ns, /*tile_width=*/4);
+  fit_splines_periodic<T>(tiled, n, n, n, samples);
+
+  for (int npos : {1, 3, 8})
+  {
+    expect_batched_bitwise<T>(soa, ns, npos);
+    expect_batched_bitwise<T>(aos, ns, npos);
+    expect_batched_bitwise<T>(tiled, ns, npos);
+  }
+}
+
+} // namespace
+
+TEST(BatchedSplineKernels, MultiMatchesScalarBitwiseDouble)
+{
+  run_multi_parity_all_backends<double>();
+}
+
+TEST(BatchedSplineKernels, MultiMatchesScalarBitwiseFloat)
+{
+  run_multi_parity_all_backends<float>();
+}
+
+TEST(BatchedSplineKernels, SplineBlockingIsBitwiseNeutral)
+{
+  // An orbital count several times the kernel's spline-block width
+  // (1024 bytes per accumulator slice) so the blocked sweep executes
+  // multiple blocks, including a partial last one.
+  const int n = 8;
+  const int ns = 300;
+  std::vector<std::vector<double>> samples;
+  for (int s = 0; s < ns; ++s)
+    samples.push_back(plane_wave_samples(n, n, n, 1 + s % 3, s % 2, (s / 2) % 2));
+
+  MultiBspline3D<double> sd;
+  sd.resize(n, n, n, ns);
+  fit_splines_periodic<double>(sd, n, n, n, samples);
+  expect_batched_bitwise<double>(sd, ns, 3);
+
+  MultiBspline3D<float> sf;
+  sf.resize(n, n, n, ns);
+  fit_splines_periodic<float>(sf, n, n, n, samples);
+  expect_batched_bitwise<float>(sf, ns, 3);
 }

@@ -192,6 +192,68 @@ class TestDoubleInTRTemplate(LintFixtureCase):
             "}\n")
 
 
+class TestScalarSpoInCrowdPath(LintFixtureCase):
+    BAD = ("struct S {\n"
+           "  void mw_evaluate_vgl(const Pos* r, int nw, Batch& out) {\n"
+           "    for (int iw = 0; iw < nw; ++iw)\n"
+           "      evaluate_vgl(r[iw], out.psi.row(iw), dpsi, out.d2.row(iw));\n"
+           "  }\n"
+           "};\n")
+
+    def test_fires_on_scalar_loop_in_mw_method(self):
+        self.assert_fires("scalar-spo-in-crowd-path", "src/wavefunction/bad_mw.h", self.BAD)
+
+    def test_fires_on_evaluate_v_too(self):
+        self.assert_fires(
+            "scalar-spo-in-crowd-path", "src/wavefunction/bad_mw_v.h",
+            "struct S {\n"
+            "  void mw_evaluate_v(const Pos* r, int nr, TR* psi, std::size_t stride) {\n"
+            "    backend_->evaluate_v(ur, psi);\n"
+            "  }\n"
+            "};\n")
+
+    def test_batched_calls_do_not_fire(self):
+        self.assert_clean(
+            "src/wavefunction/ok_mw_batched.h",
+            "struct S {\n"
+            "  void mw_evaluate_vgl(const Pos* r, int nw, Batch& out) {\n"
+            "    backend_->evaluate_vgh_multi(fold_positions(r, nw), nw, res);\n"
+            "    backend_->evaluate_v_multi(fold_positions(r, nw), nw, v, stride);\n"
+            "    spos_->mw_evaluate_v(r, nw, v, stride);\n"
+            "  }\n"
+            "};\n")
+
+    def test_scalar_call_outside_mw_method_is_fine(self):
+        self.assert_clean(
+            "src/wavefunction/ok_scalar_path.h",
+            "struct S {\n"
+            "  void ratio(P& p, int k) {\n"
+            "    spos_->evaluate_v(p.active_pos(), psiv_.data());\n"
+            "  }\n"
+            "};\n")
+
+    def test_mw_declaration_without_body_opens_no_scope(self):
+        self.assert_clean(
+            "src/wavefunction/ok_mw_decl.h",
+            "struct S {\n"
+            "  virtual void mw_evaluate_vgl(const Pos* r, int nw, Batch& out) = 0;\n"
+            "  void helper() { evaluate_v(r, psi); }\n"
+            "};\n")
+
+    def test_other_directories_are_out_of_scope(self):
+        self.assert_clean("src/drivers/ok_mw.h", self.BAD)
+
+    def test_annotated_fallback_is_allowed(self):
+        self.assert_clean(
+            "src/wavefunction/ok_mw_fallback.h",
+            "struct S {\n"
+            "  void mw_evaluate_v(const Pos* r, int nr, TR* psi, std::size_t stride) {\n"
+            "    // qmcxx-lint: allow(scalar-spo-in-crowd-path)\n"
+            "    evaluate_v(r[0], psi);\n"
+            "  }\n"
+            "};\n")
+
+
 class TestSuppression(LintFixtureCase):
     def test_allow_on_same_line(self):
         self.assert_clean(
@@ -255,7 +317,8 @@ class TestCliContract(LintFixtureCase):
         code, out = self.run_lint("--list-rules")
         self.assertEqual(code, 0)
         for rule in ("rng-outside-core", "aos-in-hot-path", "chrono-outside-instrument",
-                     "cout-in-src", "io-outside-snapshot", "double-in-tr-template"):
+                     "cout-in-src", "io-outside-snapshot", "double-in-tr-template",
+                     "scalar-spo-in-crowd-path"):
             self.assertIn(rule, out)
 
 

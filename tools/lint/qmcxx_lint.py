@@ -38,6 +38,14 @@ double-in-tr-template    No bare `double` locals inside code templated on
                          (src/config/config.h) for deliberate full-precision
                          accumulators, so the mixed-precision audit
                          (paper Sec. 7.2/8.3) stays grep-able.
+scalar-spo-in-crowd-path No scalar evaluate_v(...) / evaluate_vgl(...)
+                         calls inside mw_* method bodies under
+                         src/wavefunction/ (PR 8): crowd paths must hand
+                         whole position batches to the backend
+                         (mw_evaluate_v / evaluate_*_multi). A per-walker
+                         scalar loop in an mw_ method silently forfeits
+                         the batched-kernel speedup; deliberate fallback
+                         loops carry an inline allow annotation.
 
 Suppression
 -----------
@@ -235,6 +243,64 @@ class DoubleInTRTemplateRule(Rule):
         return findings
 
 
+class ScalarSpoInCrowdPathRule(Rule):
+    """Flag scalar SPO evaluation calls inside mw_* method bodies.
+
+    Heuristic scanner in the style of DoubleInTRTemplateRule: a method
+    definition header `void/double mw_...(...)` opens an mw scope at the
+    next top-level `{` (a header that resolves into a `;`-terminated
+    declaration opens nothing); within that scope any `evaluate_v(` /
+    `evaluate_vgl(` call is flagged.  Batched entry points do not match:
+    `mw_evaluate_v(` is shielded by the identifier lookbehind and
+    `evaluate_v_multi(` / `evaluate_vgh(` by the terminal paren.
+    """
+
+    MW_DEF_RE = re.compile(r"\b(?:void|double)\s+mw_\w+\s*\(")
+    CALL_RE = re.compile(r"(?<![\w])evaluate_v(?:gl)?\s*\(")
+
+    def __init__(self, rule_id: str, description: str,
+                 include_dirs: tuple[str, ...] = ()):
+        super().__init__(rule_id, description)
+        self.include_dirs = include_dirs
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.include_dirs:
+            return True
+        return any(relpath.startswith(d) for d in self.include_dirs)
+
+    def scan(self, relpath: str, lines: list[str]) -> list[Finding]:
+        findings = []
+        code = _strip_comments_and_strings(lines)
+        depth = 0                  # global brace depth
+        mw_scopes: list[int] = []  # depths at which mw_ method bodies opened
+        pending_mw = False         # saw an mw_ definition header, waiting for '{'
+        for lineno, text in enumerate(code, start=1):
+            if self.MW_DEF_RE.search(text):
+                pending_mw = True
+            if mw_scopes and self.CALL_RE.search(text):
+                findings.append(Finding(
+                    relpath, lineno, self.rule_id,
+                    "scalar SPO evaluation inside an mw_* crowd method: hand "
+                    "the whole position batch to the backend (mw_evaluate_v / "
+                    "mw_evaluate_vgl / evaluate_*_multi) or annotate a "
+                    "deliberate fallback loop"))
+            for ch in text:
+                if ch == "{":
+                    if pending_mw:
+                        mw_scopes.append(depth)
+                        pending_mw = False
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    if mw_scopes and depth == mw_scopes[-1]:
+                        mw_scopes.pop()
+            # An mw_ header that resolved into a declaration without a
+            # body (pure virtual / forward declaration) opens no scope.
+            if pending_mw and re.search(r";\s*$", text) and "{" not in text:
+                pending_mw = False
+        return findings
+
+
 RULES: list[Rule] = [
     PatternRule(
         "rng-outside-core",
@@ -286,6 +352,11 @@ RULES: list[Rule] = [
     DoubleInTRTemplateRule(
         "double-in-tr-template",
         "bare `double` locals in TR-templated code",
+    ),
+    ScalarSpoInCrowdPathRule(
+        "scalar-spo-in-crowd-path",
+        "scalar evaluate_v/evaluate_vgl calls inside mw_* crowd methods",
+        include_dirs=("src/wavefunction/",),
     ),
 ]
 

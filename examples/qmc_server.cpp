@@ -3,10 +3,13 @@
 //   ./qmc_server --spool DIR [--once] [--threads N] [--poll-ms M]
 //   ./qmc_server --stdin   [--threads N]
 //
-// Jobs are JSON objects (src/io/job_spec.h): workload + engine variant
-// + DriverConfig knobs. Spool mode scans DIR for *.json requests in
-// sorted order and drives each through ParallelCrowdRunner; stdin mode
-// reads one job per line and streams records to stdout.
+// Jobs are JSON objects (src/io/job_spec.h): workload (or a spec_path
+// to a qmcxx-spec-v1 system file) + engine variant + DriverConfig
+// knobs; "estimators": true additionally streams named observables
+// (per-component energies, g(r)/S(k) bins) in each generation record.
+// Spool mode scans DIR for *.json requests in sorted order and drives
+// each through ParallelCrowdRunner; stdin mode reads one job per line
+// and streams records to stdout.
 //
 // Spool lifecycle for job X.json:
 //   X.json          pending request
@@ -81,13 +84,50 @@ std::string generation_record(const std::string& job, int gen, const GenerationS
 {
   // Only chain-deterministic fields: these lines must compare equal
   // between an interrupted-then-resumed run and an uninterrupted one.
-  return std::string("{\"type\": \"generation\", \"job\": \"") + job +
+  // The named observables qualify -- component energies and estimator
+  // bins reduce in fixed walker order and never perturb the chain --
+  // so extending this record stays a versioned additive change.
+  std::string rec = std::string("{\"type\": \"generation\", \"job\": \"") + job +
       "\", \"gen\": " + std::to_string(gen) + ", \"energy\": " + io::json_number(s.energy) +
       ", \"variance\": " + io::json_number(s.variance) +
       ", \"weight\": " + io::json_number(s.weight) +
       ", \"num_walkers\": " + std::to_string(s.num_walkers) +
       ", \"acceptance\": " + io::json_number(s.acceptance) +
-      ", \"trial_energy\": " + io::json_number(s.trial_energy) + "}";
+      ", \"trial_energy\": " + io::json_number(s.trial_energy);
+  if (s.labels != nullptr && s.component_energies.size() == s.labels->components.size())
+  {
+    rec += ", \"observables\": {";
+    for (std::size_t c = 0; c < s.labels->components.size(); ++c)
+    {
+      if (c > 0)
+        rec += ", ";
+      rec += "\"" + s.labels->components[c] + "\": " + io::json_number(s.component_energies[c]);
+    }
+    rec += "}";
+  }
+  if (s.labels != nullptr && !s.labels->estimators.empty() && !s.estimator_bins.empty())
+  {
+    rec += ", \"estimators\": {";
+    std::size_t offset = 0;
+    for (std::size_t e = 0; e < s.labels->estimators.size(); ++e)
+    {
+      if (e > 0)
+        rec += ", ";
+      rec += "\"" + s.labels->estimators[e] + "\": [";
+      const std::size_t nb = static_cast<std::size_t>(s.labels->estimator_bins[e]);
+      for (std::size_t b = 0; b < nb; ++b)
+      {
+        if (b > 0)
+          rec += ", ";
+        rec += io::json_number(s.estimator_bins[offset + b]);
+      }
+      rec += "]";
+      offset += nb;
+    }
+    rec += "}";
+  }
+  rec += "}";
+  return rec;
 }
 
 std::string completion_record(const std::string& job, const EngineReport& rep,
@@ -133,8 +173,10 @@ JobOutcome run_spool_job(const std::string& path, const ServerOptions& opt)
 
   EngineRunSpec spec;
   spec.workload = job.workload;
+  spec.spec_path = job.spec_path;
   spec.variant = job.variant;
   spec.dmc = job.dmc;
+  spec.estimators = job.estimators;
   spec.driver = job.driver;
   spec.driver.num_threads = clamp_threads(job.driver.num_threads, opt.thread_budget);
   spec.driver.checkpoint_path = path + ".snap";
@@ -152,10 +194,13 @@ JobOutcome run_spool_job(const std::string& path, const ServerOptions& opt)
     spec.driver.on_generation = [&](int gen, const GenerationStats& s) {
       stream.append(generation_record(name, gen, s));
     };
+    // A spec_path job's display name is the file itself; only enum jobs
+    // may consult the workload table.
+    const std::string system_name =
+        job.spec_path.empty() ? workload_info(job.workload).name : job.spec_path;
     std::fprintf(stderr, "qmc_server: running %s (%s %s, %s, %d steps, %d walkers)\n",
-                 name.c_str(), workload_info(job.workload).name.c_str(),
-                 job.dmc ? "DMC" : "VMC", to_string(job.variant), job.driver.steps,
-                 job.driver.num_walkers);
+                 name.c_str(), system_name.c_str(), job.dmc ? "DMC" : "VMC",
+                 to_string(job.variant), job.driver.steps, job.driver.num_walkers);
     const EngineReport rep = run_engine(spec);
     if (rep.result.interrupted)
     {
@@ -220,8 +265,10 @@ int serve_stdin(const ServerOptions& opt)
       const io::JobSpec job = io::parse_job_spec(text, name);
       EngineRunSpec spec;
       spec.workload = job.workload;
+      spec.spec_path = job.spec_path;
       spec.variant = job.variant;
       spec.dmc = job.dmc;
+      spec.estimators = job.estimators;
       spec.driver = job.driver;
       spec.driver.num_threads = clamp_threads(job.driver.num_threads, opt.thread_budget);
       spec.driver.stop_flag = &g_stop;

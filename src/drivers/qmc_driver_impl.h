@@ -28,6 +28,7 @@
 
 #include "concurrency/rng_streams.h"
 #include "drivers/qmc_drivers.h"
+#include "estimators/estimator.h"
 #include "instrument/stopwatch.h"
 
 namespace qmcxx
@@ -90,6 +91,41 @@ struct WeightedWelford
   double variance() const { return w_sum > 0.0 ? m2 / w_sum : 0.0; }
 };
 
+/// Post-warmup averages (unweighted over generations [first_kept, end)):
+/// the scalar triple plus the named observable vectors.
+inline void finalize_run_means(RunResult& result, int first_kept)
+{
+  FullPrecReal e = 0, v = 0, a = 0;
+  int count = 0;
+  for (int g = first_kept; g < static_cast<int>(result.generations.size()); ++g)
+  {
+    const GenerationStats& s = result.generations[static_cast<std::size_t>(g)];
+    e += s.energy;
+    v += s.variance;
+    a += s.acceptance;
+    if (count == 0)
+    {
+      result.mean_component_energies.assign(s.component_energies.size(), 0.0);
+      result.mean_estimator_bins.assign(s.estimator_bins.size(), 0.0);
+    }
+    for (std::size_t c = 0; c < s.component_energies.size(); ++c)
+      result.mean_component_energies[c] += s.component_energies[c];
+    for (std::size_t b = 0; b < s.estimator_bins.size(); ++b)
+      result.mean_estimator_bins[b] += s.estimator_bins[b];
+    ++count;
+  }
+  if (count > 0)
+  {
+    result.mean_energy = e / count;
+    result.mean_variance = v / count;
+    result.mean_acceptance = a / count;
+    for (auto& c : result.mean_component_energies)
+      c /= count;
+    for (auto& b : result.mean_estimator_bins)
+      b /= count;
+  }
+}
+
 } // namespace detail
 
 template<typename TR>
@@ -101,10 +137,73 @@ QMCDriver<TR>::QMCDriver(ParticleSet<TR>& elec, TrialWaveFunction<TR>& twf, Hami
   detail::validate_config(config_);
   runner_ = std::make_unique<ParallelCrowdRunner>(config_.num_threads);
   make_crowd_contexts();
+  set_estimators(nullptr); // publishes the component labels
 }
 
 template<typename TR>
 QMCDriver<TR>::~QMCDriver() = default;
+
+template<typename TR>
+void QMCDriver<TR>::set_estimators(std::shared_ptr<const EstimatorSet<TR>> estimators)
+{
+  estimators_ = std::move(estimators);
+  auto labels = std::make_shared<ObservableLabels>();
+  labels->components = ham_proto_.component_names();
+  if (estimators_)
+  {
+    labels->estimators = estimators_->names();
+    labels->estimator_bins = estimators_->bin_counts();
+  }
+  labels_ = std::move(labels);
+}
+
+template<typename TR>
+void QMCDriver<TR>::record_samples(CrowdContext<TR>& ctx, int slot, int iw)
+{
+  Hamiltonian<TR>& ham = ctx.crowd->ham(slot);
+  const int ncomp = ham.num_components();
+  FullPrecReal* crow = comp_samples_.data() + static_cast<std::size_t>(iw) * ncomp;
+  for (int c = 0; c < ncomp; ++c)
+    crow[c] = ham.last_value(c);
+  if (estimators_ && estimators_->total_bins() > 0)
+    estimators_->evaluate_all(
+        ctx.crowd->elec(slot),
+        est_samples_.data() + static_cast<std::size_t>(iw) * estimators_->total_bins());
+}
+
+template<typename TR>
+void QMCDriver<TR>::reduce_observables(GenerationStats& stats, bool weighted) const
+{
+  // Fixed global walker order, FullPrecReal accumulation: bitwise
+  // invariant across crowd_size x num_threads decompositions (per-crowd
+  // partial sums would not be -- FP addition does not reassociate).
+  const int ncomp = ham_proto_.num_components();
+  const int nbins = estimators_ ? estimators_->total_bins() : 0;
+  stats.labels = labels_;
+  stats.component_energies.assign(static_cast<std::size_t>(ncomp), 0.0);
+  stats.estimator_bins.assign(static_cast<std::size_t>(nbins), 0.0);
+  FullPrecReal wsum = 0.0;
+  for (int iw = 0; iw < pop_.size(); ++iw)
+  {
+    const FullPrecReal w = weighted ? pop_.walkers[static_cast<std::size_t>(iw)]->weight : 1.0;
+    if (!(w > 0.0)) // mirrors WeightedWelford's zero-weight skip
+      continue;
+    wsum += w;
+    const FullPrecReal* crow = comp_samples_.data() + static_cast<std::size_t>(iw) * ncomp;
+    for (int c = 0; c < ncomp; ++c)
+      stats.component_energies[static_cast<std::size_t>(c)] += w * crow[c];
+    const FullPrecReal* erow = est_samples_.data() + static_cast<std::size_t>(iw) * nbins;
+    for (int b = 0; b < nbins; ++b)
+      stats.estimator_bins[static_cast<std::size_t>(b)] += w * erow[b];
+  }
+  if (wsum > 0.0)
+  {
+    for (auto& c : stats.component_energies)
+      c /= wsum;
+    for (auto& b : stats.estimator_bins)
+      b /= wsum;
+  }
+}
 
 template<typename TR>
 void QMCDriver<TR>::make_crowd_contexts()
@@ -274,7 +373,7 @@ bool QMCDriver<TR>::checkpoint_barrier(int gen, io::ChainKind kind)
 template<typename TR>
 typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR>& ctx, Walker& w,
                                                                  RandomGenerator& rng,
-                                                                 bool recompute)
+                                                                 bool recompute, int iw)
 {
   ParticleSet<TR>& p = ctx.crowd->elec(0);
   TrialWaveFunction<TR>& twf = ctx.crowd->twf(0);
@@ -333,6 +432,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
   // Measurement (Alg. 1 L11): refresh tables, then E_L.
   p.update();
   out.local_energy = ctx.crowd->ham(0).evaluate(p, twf);
+  record_samples(ctx, 0, iw);
   twf.update_buffer(w);
   p.store_walker(w);
   w.old_local_energy = w.local_energy;
@@ -415,6 +515,10 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
   ParticleSet<TR>::mw_update(crowd.p_refs());
   Hamiltonian<TR>::mw_evaluate(crowd.ham_refs(), crowd.twf_refs(), crowd.p_refs(),
                                crowd.resources(), crowd.energies.data());
+  // Observable samples while each slot's measurement state is intact;
+  // rows [first, first + n) belong to this crowd alone.
+  for (int iw = 0; iw < n; ++iw)
+    record_samples(ctx, iw, first + iw);
   crowd.release();
   for (int iw = 0; iw < n; ++iw)
   {
@@ -433,6 +537,11 @@ std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_
   const int nw = pop_.size();
   const int cs = config_.crowd_size;
   const int ncrowds = (nw + cs - 1) / cs;
+  // Per-walker sample rows for this generation: disjoint slices per
+  // crowd, reduced serially at the barrier (reduce_observables).
+  comp_samples_.assign(static_cast<std::size_t>(nw) * ham_proto_.num_components(), 0.0);
+  est_samples_.assign(
+      static_cast<std::size_t>(nw) * (estimators_ ? estimators_->total_bins() : 0), 0.0);
   std::vector<SweepOutcome> outcomes(ncrowds);
   // Crowd ic always sweeps the same slice no matter which thread claims
   // it, and writes only slice-owned state plus its own outcomes slot:
@@ -443,7 +552,7 @@ std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_
     const int count = nw - lo < cs ? nw - lo : cs;
     outcomes[ic] = cs <= 1
         // Legacy per-walker path (the crowd_size == 1 degenerate case).
-        ? sweep_walker(ctx, *pop_.walkers[lo], pop_.rngs[lo], recompute)
+        ? sweep_walker(ctx, *pop_.walkers[lo], pop_.rngs[lo], recompute, lo)
         : sweep_crowd(ctx, lo, count, recompute);
   });
   return outcomes;
@@ -483,6 +592,7 @@ RunResult QMCDriver<TR>::run_vmc()
     stats.energy = acc.mean;
     stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    reduce_observables(stats, /*weighted=*/false);
     result.generations.push_back(stats);
     result.total_samples += nw;
     if (config_.on_generation)
@@ -495,25 +605,11 @@ RunResult QMCDriver<TR>::run_vmc()
   }
   result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
+  result.labels = labels_;
   // Post-warmup averages; generations[] holds this run's slice, so the
   // warmup cut is relative to start_generation_ (a resumed run past its
   // warmup discards nothing).
-  FullPrecReal e = 0, v = 0, a = 0;
-  int count = 0;
-  for (int g = std::max(0, config_.warmup_steps - start_generation_);
-       g < static_cast<int>(result.generations.size()); ++g)
-  {
-    e += result.generations[g].energy;
-    v += result.generations[g].variance;
-    a += result.generations[g].acceptance;
-    ++count;
-  }
-  if (count > 0)
-  {
-    result.mean_energy = e / count;
-    result.mean_variance = v / count;
-    result.mean_acceptance = a / count;
-  }
+  detail::finalize_run_means(result, std::max(0, config_.warmup_steps - start_generation_));
   return result;
 }
 
@@ -571,6 +667,10 @@ RunResult QMCDriver<TR>::run_dmc()
     stats.energy = acc.mean;
     stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    // Observables reduce with the post-reweight weights, before
+    // branching rearranges the population (sample rows are keyed by
+    // pre-branch walker order).
+    reduce_observables(stats, /*weighted=*/true);
     result.total_samples += nw;
 
     // Branch + trial-energy feedback (Alg. 1 L13-L14).
@@ -593,22 +693,8 @@ RunResult QMCDriver<TR>::run_dmc()
   }
   result.seconds = stopwatch.seconds();
   result.throughput = result.total_samples / result.seconds;
-  FullPrecReal e = 0, v = 0, a = 0;
-  int count = 0;
-  for (int g = std::max(0, config_.warmup_steps - start_generation_);
-       g < static_cast<int>(result.generations.size()); ++g)
-  {
-    e += result.generations[g].energy;
-    v += result.generations[g].variance;
-    a += result.generations[g].acceptance;
-    ++count;
-  }
-  if (count > 0)
-  {
-    result.mean_energy = e / count;
-    result.mean_variance = v / count;
-    result.mean_acceptance = a / count;
-  }
+  result.labels = labels_;
+  detail::finalize_run_means(result, std::max(0, config_.warmup_steps - start_generation_));
   return result;
 }
 

@@ -34,6 +34,20 @@ namespace qmcxx
 
 struct GenerationStats;
 
+template<typename TR>
+class EstimatorSet;
+
+/// Names for the per-generation observable columns: Hamiltonian
+/// component names plus (when an EstimatorSet is attached) estimator
+/// names and their bin counts. One immutable instance is shared by
+/// every GenerationStats / RunResult a driver emits.
+struct ObservableLabels
+{
+  std::vector<std::string> components;  ///< Hamiltonian component names
+  std::vector<std::string> estimators;  ///< estimator names ("gofr", ...)
+  std::vector<int> estimator_bins;      ///< bins per estimator, same order
+};
+
 struct DriverConfig
 {
   double tau = 0.02;           ///< time step (hartree^-1)
@@ -90,6 +104,16 @@ struct GenerationStats
   int num_walkers = 0;
   double acceptance = 0.0;  ///< PbyP acceptance ratio
   double trial_energy = 0.0;
+  /// Weighted population averages of each Hamiltonian component, in
+  /// labels->components order: the named decomposition of `energy`.
+  /// Reduced serially in fixed global walker order at the barrier, so
+  /// values are bitwise-invariant across crowd_size x num_threads.
+  std::vector<FullPrecReal> component_energies;
+  /// Flat estimator bins (labels->estimators / estimator_bins layout);
+  /// empty unless an EstimatorSet is attached. Same reduction contract
+  /// as component_energies.
+  std::vector<FullPrecReal> estimator_bins;
+  std::shared_ptr<const ObservableLabels> labels;
 };
 
 struct RunResult
@@ -103,6 +127,11 @@ struct RunResult
   double throughput = 0.0;         ///< samples per second (paper Sec. 6.2)
   int start_generation = 0;        ///< first generation index of this run (resume offset)
   bool interrupted = false;        ///< stop_flag fired; state was checkpointed if configured
+  /// Post-warmup averages of the named observables (unweighted over
+  /// generations, matching mean_energy).
+  std::vector<FullPrecReal> mean_component_energies;
+  std::vector<FullPrecReal> mean_estimator_bins;
+  std::shared_ptr<const ObservableLabels> labels;
 };
 
 /// Per-thread compute resources: one crowd of `crowd_size` slots (the
@@ -150,6 +179,15 @@ public:
 
   WalkerPopulation& population() { return pop_; }
 
+  /// Attach an estimator set (nullptr detaches). The set is shared and
+  /// read-only: samples land in per-walker rows and reduce at the
+  /// barrier, so attaching estimators never perturbs the chain. Call
+  /// before run_vmc/run_dmc.
+  void set_estimators(std::shared_ptr<const EstimatorSet<TR>> estimators);
+
+  /// Component / estimator column labels for this driver's stats.
+  std::shared_ptr<const ObservableLabels> observable_labels() const { return labels_; }
+
   /// Variational Monte Carlo: sample |Psi_T|^2 (used for warmup and the
   /// throughput benchmarks).
   RunResult run_vmc();
@@ -185,8 +223,21 @@ private:
   /// One PbyP drift-diffusion sweep over all electrons of one walker,
   /// followed by the local-energy measurement (Alg. 1 L4-L11). Legacy
   /// crowd_size == 1 path, run against slot 0 of the thread's crowd.
+  /// `iw` is the walker's global population index (its sample row).
   SweepOutcome sweep_walker(CrowdContext<TR>& ctx, Walker& w, RandomGenerator& rng,
-                            bool recompute);
+                            bool recompute, int iw);
+
+  /// Record the measurement-point observables of crowd slot `slot`
+  /// (Hamiltonian last_value components, estimator bins) into global
+  /// walker row `iw` of the per-generation sample buffers. Rows are
+  /// disjoint across walkers, so concurrent crowds never contend.
+  void record_samples(CrowdContext<TR>& ctx, int slot, int iw);
+
+  /// Serial barrier reduction of the sample rows in fixed global
+  /// walker order: weighted averages into stats.component_energies /
+  /// stats.estimator_bins. `weighted` selects walker weights (DMC,
+  /// after reweighting) vs unit weights (VMC).
+  void reduce_observables(GenerationStats& stats, bool weighted) const;
 
   /// The batched sweep: acquire the population slice [first, first + n)
   /// into the crowd, move every electron for all walkers in lockstep
@@ -213,6 +264,12 @@ private:
   DriverConfig config_;
   std::vector<CrowdContext<TR>> contexts_;
   WalkerPopulation pop_;
+  std::shared_ptr<const EstimatorSet<TR>> estimators_;
+  std::shared_ptr<const ObservableLabels> labels_;
+  /// Per-generation sample buffers, row iw = global walker index:
+  /// [num_walkers x num_components] and [num_walkers x total_bins].
+  std::vector<FullPrecReal> comp_samples_;
+  std::vector<FullPrecReal> est_samples_;
   FullPrecReal trial_energy_ = 0.0;
   RandomGenerator branch_rng_;
   std::unique_ptr<ParallelCrowdRunner> runner_;

@@ -2,10 +2,13 @@
 
 
 #include "drivers/qmc_drivers.h"
+#include "estimators/estimators.h"
 #include "instrument/memory_tracker.h"
+#include "io/job_spec.h"
 #include "io/snapshot.h"
 #include "instrument/stopwatch.h"
 #include "workloads/system_builder.h"
+#include "workloads/system_spec.h"
 
 namespace qmcxx
 {
@@ -21,20 +24,32 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   const std::size_t mem0 = mt.current();
 
   const Stopwatch build_watch;
-  const WorkloadInfo& info = workload_info(spec.workload);
+  // Single resolution point: enum workloads convert losslessly through
+  // to_spec, spec files parse into the same struct -- one build path.
+  const SystemSpec sysspec = spec.spec_path.empty()
+      ? to_spec(workload_info(spec.workload))
+      : io::parse_system_spec(io::read_text_file(spec.spec_path), spec.spec_path);
   BuildOptions opt;
   opt.soa_layout = soa_layout;
   opt.seed = spec.driver.seed;
-  opt.delay_rank = spec.driver.delay_rank;
+  // The spec's delay_rank is a default; an explicit driver request
+  // (> 1) wins so job files can still A/B the delayed path.
+  opt.delay_rank = spec.driver.delay_rank > 1 ? spec.driver.delay_rank : sysspec.delay_rank;
   opt.spo_batched = spec.spo_batched;
-  QMCSystem<TR> sys = build_system<TR>(info, opt);
+  QMCSystem<TR> sys = build_system<TR>(sysspec, opt);
 
   // Stamp the workload identity into the driver config so snapshots
-  // written by this run carry it, and restores verify it.
+  // written by this run carry it, and restores verify it. The resolved
+  // spec's content hash distinguishes same-named different-content
+  // specs (satellite of the spec-ingestion contract).
   DriverConfig dcfg = spec.driver;
-  dcfg.checkpoint_fingerprint =
-      io::workload_fingerprint(info.name, to_string(spec.variant), dcfg.delay_rank);
+  dcfg.delay_rank = opt.delay_rank;
+  dcfg.checkpoint_fingerprint = io::workload_fingerprint(
+      sysspec.name, to_string(spec.variant), dcfg.delay_rank, spec_content_hash(sysspec));
   QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, dcfg);
+  if (spec.estimators)
+    driver.set_estimators(
+        make_default_estimators<TR>(sysspec.lattice, sys.table_ee, sysspec.num_electrons));
   {
     MemoryScope scope("walker-buffers");
     if (spec.resume_path.empty())

@@ -31,16 +31,25 @@ struct EngineReport
 struct EngineRunSpec
 {
   Workload workload = Workload::NiO32;
+  /// Path to a qmcxx-spec-v1 system file; when non-empty it replaces
+  /// the workload enum as the system source (the two build paths are
+  /// bitwise-identical for equal specs).
+  std::string spec_path;
   EngineVariant variant = EngineVariant::Current;
   DriverConfig driver;
   bool dmc = true; ///< DMC (Alg. 1) vs VMC sampling
   /// Crowd-batched spline kernels behind the SPO mw_* calls; false runs
   /// the per-walker scalar backend loops (bitwise-identical A/B knob).
   bool spo_batched = true;
+  /// Attach the default estimator set (g(r) + S(k), src/estimators/).
+  /// Estimator accumulation never touches the Markov chain; off by
+  /// default so benchmark timings stay estimator-free.
+  bool estimators = false;
   /// Resume from a qmcxx-snap-v1 file instead of initializing a fresh
   /// population. The snapshot must match this spec's workload, variant,
-  /// delay_rank (fingerprint), seed, tau, and precision; the run then
-  /// continues at the snapshot's generation counter.
+  /// delay_rank and spec contents (fingerprint), seed, tau, and
+  /// precision; the run then continues at the snapshot's generation
+  /// counter.
   std::string resume_path;
 };
 

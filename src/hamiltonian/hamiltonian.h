@@ -58,6 +58,17 @@ public:
   const HamiltonianComponent<TR>& component(int i) const { return *components_[i]; }
   double last_value(int i) const { return last_values_[i]; }
 
+  /// Stable observable names in component order ("Kinetic",
+  /// "CoulombEE", ...): the labels of the per-component columns the
+  /// driver surfaces through GenerationStats.
+  std::vector<std::string> component_names() const
+  {
+    std::vector<std::string> names;
+    for (const auto& c : components_)
+      names.push_back(c->name());
+    return names;
+  }
+
   /// Local energy: refreshes the wavefunction G/L accumulators, then
   /// sums all components. P must be update()d (measurement state).
   double evaluate(ParticleSet<TR>& p, TrialWaveFunction<TR>& twf)

@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/stream_log.h"
 
 namespace qmcxx::io
 {
@@ -178,6 +181,104 @@ private:
   const std::string& job_;
 };
 
+TinyVector<double, 3> parse_triple(Parser& p)
+{
+  p.expect('[');
+  TinyVector<double, 3> v;
+  v[0] = p.parse_double();
+  p.expect(',');
+  v[1] = p.parse_double();
+  p.expect(',');
+  v[2] = p.parse_double();
+  p.expect(']');
+  return v;
+}
+
+void parse_orbitals_object(Parser& p, SystemSpec& s)
+{
+  p.expect('{');
+  do
+  {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "kind")
+    {
+      const std::string kind = p.parse_string();
+      if (kind != "bspline-synthetic")
+        p.fail("unsupported orbital kind '" + kind + "' (only \"bspline-synthetic\" exists)");
+    }
+    else if (key == "grid")
+    {
+      p.expect('[');
+      s.grid[0] = p.parse_int();
+      p.expect(',');
+      s.grid[1] = p.parse_int();
+      p.expect(',');
+      s.grid[2] = p.parse_int();
+      p.expect(']');
+    }
+    else if (key == "count")
+      s.num_orbitals = p.parse_int();
+    else
+      p.fail("unknown orbitals key '" + key + "'");
+  } while (p.consume_if(','));
+  p.expect('}');
+}
+
+void parse_jastrow_object(Parser& p, SystemSpec& s)
+{
+  p.expect('{');
+  do
+  {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "knots")
+      s.jastrow_knots = p.parse_int();
+    else
+      p.fail("unknown jastrow key '" + key + "'");
+  } while (p.consume_if(','));
+  p.expect('}');
+}
+
+void parse_species_entry(Parser& p, SystemSpec& s)
+{
+  IonSpecies sp{};
+  int count = 0;
+  p.expect('{');
+  do
+  {
+    const std::string key = p.parse_string();
+    p.expect(':');
+    if (key == "name")
+      sp.name = p.parse_string();
+    else if (key == "charge")
+      sp.charge = p.parse_double();
+    else if (key == "count")
+      count = p.parse_int();
+    else if (key == "j1_depth")
+      sp.j1_depth = p.parse_double();
+    else if (key == "j1_width")
+      sp.j1_width = p.parse_double();
+    else if (key == "r_core")
+      sp.r_core = p.parse_double();
+    else if (key == "nl_amplitude")
+      sp.nl_amplitude = p.parse_double();
+    else if (key == "nl_width")
+      sp.nl_width = p.parse_double();
+    else if (key == "nl_rcut")
+      sp.nl_rcut = p.parse_double();
+    else
+      p.fail("unknown species key '" + key + "'");
+  } while (p.consume_if(','));
+  p.expect('}');
+  if (sp.name.empty())
+    p.fail("species entry is missing \"name\"");
+  if (count < 1)
+    p.fail("species '" + sp.name + "' needs a positive \"count\"");
+  s.species.push_back(sp);
+  s.ion_counts.push_back(count);
+}
+
 void parse_driver_object(Parser& p, DriverConfig& d)
 {
   p.expect('{');
@@ -254,6 +355,7 @@ JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name
   JobSpec spec;
   spec.name = job_name;
   Parser p(json_text, job_name);
+  bool saw_workload = false;
   p.expect('{');
   if (!p.consume_if('}'))
   {
@@ -262,11 +364,18 @@ JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name
       const std::string key = p.parse_string();
       p.expect(':');
       if (key == "workload")
+      {
         spec.workload = workload_from_name(p.parse_string());
+        saw_workload = true;
+      }
+      else if (key == "spec_path")
+        spec.spec_path = p.parse_string();
       else if (key == "variant")
         spec.variant = variant_from_name(p.parse_string());
       else if (key == "dmc")
         spec.dmc = p.parse_bool();
+      else if (key == "estimators")
+        spec.estimators = p.parse_bool();
       else if (key == "mem_budget_mb")
         spec.mem_budget_mb = p.parse_double();
       else if (key == "driver")
@@ -278,7 +387,177 @@ JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name
   }
   if (!p.at_end())
     p.fail("trailing characters after the job object");
+  if (saw_workload && !spec.spec_path.empty())
+    throw std::runtime_error("job '" + job_name +
+                             "': \"workload\" and \"spec_path\" are mutually exclusive "
+                             "(a spec file fully describes its system)");
   return spec;
+}
+
+SystemSpec parse_system_spec(const std::string& json_text, const std::string& origin)
+{
+  SystemSpec spec;
+  Parser p(json_text, origin);
+  bool saw_schema = false, saw_lattice = false;
+  std::array<TinyVector<double, 3>, 3> rows{};
+  p.expect('{');
+  if (!p.consume_if('}'))
+  {
+    do
+    {
+      const std::string key = p.parse_string();
+      p.expect(':');
+      if (key == "schema")
+      {
+        const std::string schema = p.parse_string();
+        if (schema != "qmcxx-spec-v1")
+          p.fail("unsupported spec schema '" + schema + "' (expected qmcxx-spec-v1)");
+        saw_schema = true;
+      }
+      else if (key == "name")
+        spec.name = p.parse_string();
+      else if (key == "num_electrons")
+        spec.num_electrons = p.parse_int();
+      else if (key == "lattice")
+      {
+        p.expect('[');
+        rows[0] = parse_triple(p);
+        p.expect(',');
+        rows[1] = parse_triple(p);
+        p.expect(',');
+        rows[2] = parse_triple(p);
+        p.expect(']');
+        saw_lattice = true;
+      }
+      else if (key == "orbitals")
+        parse_orbitals_object(p, spec);
+      else if (key == "jastrow")
+        parse_jastrow_object(p, spec);
+      else if (key == "delay_rank")
+        spec.delay_rank = p.parse_int();
+      else if (key == "pseudopotential")
+        spec.has_pseudopotential = p.parse_bool();
+      else if (key == "species")
+      {
+        p.expect('[');
+        do
+          parse_species_entry(p, spec);
+        while (p.consume_if(','));
+        p.expect(']');
+      }
+      else if (key == "ion_positions")
+      {
+        p.expect('[');
+        do
+          spec.ion_positions.push_back(parse_triple(p));
+        while (p.consume_if(','));
+        p.expect(']');
+      }
+      else
+        p.fail("unknown key '" + key + "'");
+    } while (p.consume_if(','));
+    p.expect('}');
+  }
+  if (!p.at_end())
+    p.fail("trailing characters after the spec object");
+
+  const auto bad = [&origin](const std::string& what) {
+    throw std::runtime_error("spec '" + origin + "': " + what);
+  };
+  if (!saw_schema)
+    bad("missing \"schema\": \"qmcxx-spec-v1\"");
+  if (spec.name.empty())
+    bad("missing \"name\"");
+  if (!saw_lattice)
+    bad("missing \"lattice\"");
+  if (spec.num_electrons < 2)
+    bad("num_electrons must be >= 2 (two spin determinants)");
+  for (const int g : spec.grid)
+    if (g < 4)
+      bad("orbital grid dimensions must be >= 4 (cubic B-spline support)");
+  if (spec.num_orbitals < (spec.num_electrons + 1) / 2)
+    bad("orbital count " + std::to_string(spec.num_orbitals) +
+        " cannot fill the larger spin determinant of " +
+        std::to_string(spec.num_electrons) + " electrons");
+  if (spec.jastrow_knots < 2)
+    bad("jastrow knots must be >= 2");
+  if (spec.delay_rank < 1)
+    bad("delay_rank must be >= 1 (1 = rank-1 Sherman-Morrison)");
+  if (spec.species.empty())
+    bad("at least one ion species is required");
+  const int nion = std::accumulate(spec.ion_counts.begin(), spec.ion_counts.end(), 0);
+  if (nion != static_cast<int>(spec.ion_positions.size()))
+    bad("species counts sum to " + std::to_string(nion) + " ions but " +
+        std::to_string(spec.ion_positions.size()) + " ion_positions are given");
+  spec.lattice = Lattice(rows);
+  return spec;
+}
+
+namespace
+{
+
+std::string json_escape(const std::string& s)
+{
+  std::string out;
+  for (const char c : s)
+  {
+    if (c == '"' || c == '\\')
+      out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string triple_json(const TinyVector<double, 3>& v)
+{
+  std::string out = "[";
+  out += json_number(v[0]);
+  out += ", ";
+  out += json_number(v[1]);
+  out += ", ";
+  out += json_number(v[2]);
+  out += "]";
+  return out;
+}
+
+} // namespace
+
+std::string serialize_system_spec(const SystemSpec& spec)
+{
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"qmcxx-spec-v1\",\n";
+  os << "  \"name\": \"" << json_escape(spec.name) << "\",\n";
+  os << "  \"num_electrons\": " << spec.num_electrons << ",\n";
+  os << "  \"lattice\": [\n";
+  for (unsigned r = 0; r < 3; ++r)
+    os << "    " << triple_json(spec.lattice.rows()[r]) << (r < 2 ? "," : "") << "\n";
+  os << "  ],\n";
+  os << "  \"orbitals\": { \"kind\": \"bspline-synthetic\", \"grid\": [" << spec.grid[0]
+     << ", " << spec.grid[1] << ", " << spec.grid[2] << "], \"count\": " << spec.num_orbitals
+     << " },\n";
+  os << "  \"jastrow\": { \"knots\": " << spec.jastrow_knots << " },\n";
+  os << "  \"delay_rank\": " << spec.delay_rank << ",\n";
+  os << "  \"pseudopotential\": " << (spec.has_pseudopotential ? "true" : "false") << ",\n";
+  os << "  \"species\": [\n";
+  for (std::size_t s = 0; s < spec.species.size(); ++s)
+  {
+    const IonSpecies& sp = spec.species[s];
+    os << "    { \"name\": \"" << json_escape(sp.name) << "\", \"charge\": "
+       << json_number(sp.charge) << ", \"count\": " << spec.ion_counts[s]
+       << ",\n      \"j1_depth\": " << json_number(sp.j1_depth) << ", \"j1_width\": "
+       << json_number(sp.j1_width) << ", \"r_core\": " << json_number(sp.r_core)
+       << ",\n      \"nl_amplitude\": " << json_number(sp.nl_amplitude) << ", \"nl_width\": "
+       << json_number(sp.nl_width) << ", \"nl_rcut\": " << json_number(sp.nl_rcut) << " }"
+       << (s + 1 < spec.species.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"ion_positions\": [\n";
+  for (std::size_t i = 0; i < spec.ion_positions.size(); ++i)
+    os << "    " << triple_json(spec.ion_positions[i])
+       << (i + 1 < spec.ion_positions.size() ? "," : "") << "\n";
+  os << "  ]\n}\n";
+  return os.str();
 }
 
 std::vector<std::string> list_spool_jobs(const std::string& dir)
@@ -302,6 +581,26 @@ std::string read_text_file(const std::string& path)
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text)
+{
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("cannot write '" + tmp + "'");
+    out << text;
+    out.flush();
+    if (!out)
+      throw std::runtime_error("short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
+                             "': " + ec.message());
 }
 
 } // namespace qmcxx::io

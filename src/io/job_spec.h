@@ -1,5 +1,6 @@
-// Job requests for the qmc_server example: a workload name, an engine
-// variant, and DriverConfig knobs, parsed from a small JSON object.
+// Job requests for the qmc_server example: a workload name (or a
+// spec_path to a qmcxx-spec-v1 system file), an engine variant, and
+// DriverConfig knobs, parsed from a small JSON object.
 //
 //   { "workload": "Graphite", "variant": "current", "dmc": false,
 //     "driver": { "steps": 64, "num_walkers": 16, "seed": 42,
@@ -7,9 +8,29 @@
 //     "mem_budget_mb": 512 }
 //
 // The parser is a minimal recursive-descent JSON reader (objects,
-// strings, numbers, booleans) -- deliberately no external dependency.
-// Unknown keys are rejected with an error naming the key, so a typo'd
-// knob fails the job instead of silently running defaults.
+// arrays, strings, numbers, booleans) -- deliberately no external
+// dependency. Unknown keys are rejected with an error naming the key,
+// so a typo'd knob fails the job instead of silently running defaults.
+//
+// The same reader parses system ingestion files ("qmcxx-spec-v1",
+// workloads/system_spec.h):
+//
+//   { "schema": "qmcxx-spec-v1", "name": "Graphite",
+//     "num_electrons": 256,
+//     "lattice": [[9.3,0,0], [-4.65,8.05...,0], [0,0,50.68]],
+//     "orbitals": { "kind": "bspline-synthetic",
+//                   "grid": [16,16,40], "count": 128 },
+//     "jastrow": { "knots": 10 }, "delay_rank": 1,
+//     "pseudopotential": true,
+//     "species": [ { "name": "C", "charge": 4, "count": 64,
+//                    "j1_depth": -0.35, "j1_width": 1.3, "r_core": 0.8,
+//                    "nl_amplitude": 0.6, "nl_width": 0.8,
+//                    "nl_rcut": 1.7 } ],
+//     "ion_positions": [[0,0,0], ...] }
+//
+// Doubles are written with 17 significant digits, so
+// parse_system_spec(serialize_system_spec(s)) == s bitwise and a
+// committed spec file reproduces its enum-built system exactly.
 #ifndef QMCXX_IO_JOB_SPEC_H
 #define QMCXX_IO_JOB_SPEC_H
 
@@ -18,6 +39,7 @@
 
 #include "config/config.h"
 #include "drivers/qmc_drivers.h"
+#include "workloads/system_spec.h"
 #include "workloads/workloads.h"
 
 namespace qmcxx::io
@@ -27,8 +49,15 @@ struct JobSpec
 {
   std::string name;        ///< job id (spool file stem or "stdin-N")
   Workload workload = Workload::Graphite;
+  /// Path to a qmcxx-spec-v1 system file; when set it replaces the
+  /// workload enum ("workload" and "spec_path" are mutually exclusive).
+  std::string spec_path;
   EngineVariant variant = EngineVariant::Current;
   bool dmc = false;
+  /// Attach the default estimator set (g(r), S(k)) and stream its bins
+  /// in the per-generation records. Chains are bitwise-identical with
+  /// estimators on or off.
+  bool estimators = false;
   /// Soft per-job memory budget; 0 = unlimited. The server reports a
   /// budget violation (tracked peak > budget) in the completion record.
   double mem_budget_mb = 0.0;
@@ -54,6 +83,22 @@ struct JobSpec
 
 /// Whole-file slurp. Throws std::runtime_error if unreadable.
 [[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Atomic text write (temp file + rename, the snapshot discipline): an
+/// interrupt mid-write never leaves a torn file at `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+/// Parse one qmcxx-spec-v1 system file. `origin` names the source in
+/// error messages (file path or job id). Throws std::runtime_error on
+/// malformed input, unknown keys, or inconsistent counts (species
+/// counts vs ion positions, orbitals vs electrons).
+[[nodiscard]] SystemSpec parse_system_spec(const std::string& json_text,
+                                           const std::string& origin);
+
+/// Serialize to the qmcxx-spec-v1 JSON form, doubles at 17 significant
+/// digits: parse_system_spec(serialize_system_spec(s), ...) == s.
+[[nodiscard]] std::string serialize_system_spec(const SystemSpec& spec);
 
 } // namespace qmcxx::io
 

@@ -196,7 +196,7 @@ PopulationSnapshot parse_payload(std::uint32_t precision_bytes, std::uint64_t fi
 } // namespace
 
 std::uint64_t workload_fingerprint(std::string_view workload, std::string_view variant,
-                                   int delay_rank)
+                                   int delay_rank, std::uint64_t spec_hash)
 {
   // FNV-1a (64-bit) with a 0xff separator between fields so
   // ("ab","c") and ("a","bc") hash differently.
@@ -214,6 +214,10 @@ std::uint64_t workload_fingerprint(std::string_view workload, std::string_view v
   mix(variant.data(), variant.size());
   const auto d = static_cast<std::int64_t>(delay_rank);
   mix(reinterpret_cast<const char*>(&d), sizeof(d));
+  // Mixed only when nonzero: runs that predate spec ingestion (and
+  // driver-level tests that stamp by name alone) keep their hashes.
+  if (spec_hash != 0)
+    mix(reinterpret_cast<const char*>(&spec_hash), sizeof(spec_hash));
   return h;
 }
 
@@ -234,7 +238,7 @@ void validate_compatible(const PopulationSnapshot& snap, const SnapshotExpectati
                              std::to_string(snap.workload_fingerprint) + ", this run " +
                              std::to_string(expect.fingerprint) +
                              "): the snapshot was taken from a different workload, engine "
-                             "variant, or delay_rank");
+                             "variant, delay_rank, or spec contents");
   if (snap.master_seed != expect.master_seed)
     throw std::runtime_error("qmcxx-snap: master seed mismatch (snapshot " +
                              std::to_string(snap.master_seed) + ", this run " +

@@ -110,9 +110,13 @@ struct PopulationSnapshot
 /// the workload name, engine-variant name and delay rank -- everything
 /// that shapes the PooledBuffer registration layout and the chain's
 /// algorithmic identity beyond (seed, tau), which the payload carries
-/// explicitly.
+/// explicitly. `spec_hash` (qmcxx::spec_content_hash of the resolved
+/// SystemSpec) is folded in when nonzero, so two spec files sharing a
+/// name but differing in contents are rejected with a distinct error;
+/// 0 preserves the historical 3-field hash values.
 [[nodiscard]] std::uint64_t workload_fingerprint(std::string_view workload,
-                                                 std::string_view variant, int delay_rank);
+                                                 std::string_view variant, int delay_rank,
+                                                 std::uint64_t spec_hash = 0);
 
 /// What a resuming run requires of a snapshot. Checked as a whole by
 /// validate_compatible before any population state is replaced.

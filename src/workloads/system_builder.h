@@ -1,9 +1,12 @@
 // Assembles a complete QMC system (particles, trial wavefunction,
-// Hamiltonian) for a benchmark workload under a given engine layout.
+// Hamiltonian) from a SystemSpec under a given engine layout.
 //
 // This is the single place where the paper's three configurations are
 // wired: layout (AoS vs SoA classes) and precision (the TR parameter)
-// are chosen here, everything downstream is agnostic.
+// are chosen here, everything downstream is agnostic. The SystemSpec
+// overload is canonical; the WorkloadInfo overload forwards through
+// to_spec(), so enum-built and spec-built systems are the same code
+// path (and bitwise-identical).
 #ifndef QMCXX_WORKLOADS_SYSTEM_BUILDER_H
 #define QMCXX_WORKLOADS_SYSTEM_BUILDER_H
 
@@ -23,6 +26,7 @@
 #include "wavefunction/jastrow_two_body.h"
 #include "wavefunction/spo_set.h"
 #include "wavefunction/trial_wavefunction.h"
+#include "workloads/system_spec.h"
 #include "workloads/workloads.h"
 
 namespace qmcxx
@@ -51,7 +55,6 @@ struct BuildOptions
   bool with_hamiltonian = true;
   std::uint64_t seed = 20170708;
   DTUpdateMode dt_mode = DTUpdateMode::OnTheFly; ///< SoA AA policy
-  int jastrow_knots = 10;
   /// Delayed (Woodbury) determinant updates (Sec. 8.4): accepted rows
   /// bind into a rank-`delay_rank` window applied as BLAS3 gemms.
   /// 1 selects the plain rank-1 Sherman-Morrison DiracDeterminant (the
@@ -66,21 +69,21 @@ struct BuildOptions
 };
 
 template<typename TR>
-QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
+QMCSystem<TR> build_system(const SystemSpec& spec, const BuildOptions& opt)
 {
   QMCSystem<TR> sys;
 
   // ---- ions ------------------------------------------------------------
-  sys.ions = std::make_unique<ParticleSet<TR>>("ion", info.lattice);
-  for (const auto& sp : info.species)
+  sys.ions = std::make_unique<ParticleSet<TR>>("ion", spec.lattice);
+  for (const auto& sp : spec.species)
     sys.ions->add_species(sp.name, sp.charge);
-  sys.ions->create(info.ion_counts);
-  sys.ions->set_positions(info.ion_positions);
+  sys.ions->create(spec.ion_counts);
+  sys.ions->set_positions(spec.ion_positions);
 
   // ---- electrons: ion-centered gaussian clouds, spin-alternating -------
-  const int n = info.num_electrons;
+  const int n = spec.num_electrons;
   const int nhalf = n / 2;
-  sys.elec = std::make_unique<ParticleSet<TR>>("e", info.lattice);
+  sys.elec = std::make_unique<ParticleSet<TR>>("e", spec.lattice);
   sys.elec->add_species("u", -1.0);
   sys.elec->add_species("d", -1.0);
   sys.elec->create({nhalf, n - nhalf});
@@ -91,7 +94,7 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
     RandomGenerator rng(opt.seed ^ 0xe1ec7206u);
     for (int e = 0; e < n; ++e)
       sys.elec->set_pos(
-          e, info.lattice.to_cart(TinyVector<double, 3>{rng.uniform(), rng.uniform(), rng.uniform()}));
+          e, spec.lattice.to_cart(TinyVector<double, 3>{rng.uniform(), rng.uniform(), rng.uniform()}));
   }
 
   // ---- distance tables ---------------------------------------------------
@@ -101,15 +104,15 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
     if (canonical_tables)
     {
       sys.table_ee = sys.elec->add_table(
-          std::make_unique<SoaDistanceTableAA<TR>>(info.lattice, n, opt.dt_mode));
+          std::make_unique<SoaDistanceTableAA<TR>>(spec.lattice, n, opt.dt_mode));
       sys.table_ei = sys.elec->add_table(
-          std::make_unique<SoaDistanceTableAB<TR>>(info.lattice, *sys.ions, n));
+          std::make_unique<SoaDistanceTableAB<TR>>(spec.lattice, *sys.ions, n));
     }
     else
     {
-      sys.table_ee = sys.elec->add_table(std::make_unique<AosDistanceTableAA<TR>>(info.lattice, n));
+      sys.table_ee = sys.elec->add_table(std::make_unique<AosDistanceTableAA<TR>>(spec.lattice, n));
       sys.table_ei = sys.elec->add_table(
-          std::make_unique<AosDistanceTableAB<TR>>(info.lattice, *sys.ions, n));
+          std::make_unique<AosDistanceTableAB<TR>>(spec.lattice, *sys.ions, n));
     }
     sys.elec->update();
   }
@@ -117,20 +120,20 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   // ---- single-particle orbitals -------------------------------------------
   {
     MemoryScope scope("spline-table");
-    const auto [gx, gy, gz] = info.grid;
+    const auto [gx, gy, gz] = spec.grid;
     if (opt.soa_layout)
     {
       auto backend = std::make_shared<MultiBspline3D<TR>>();
-      fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, info.num_orbitals, opt.seed);
-      auto spos = std::make_shared<BsplineSPOSetSoA<TR>>(info.lattice, backend);
+      fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, spec.num_orbitals, opt.seed);
+      auto spos = std::make_shared<BsplineSPOSetSoA<TR>>(spec.lattice, backend);
       spos->set_batched_kernels(opt.spo_batched);
       sys.spos = std::move(spos);
     }
     else
     {
       auto backend = std::make_shared<BsplineSetAoS<TR>>();
-      fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, info.num_orbitals, opt.seed);
-      auto spos = std::make_shared<BsplineSPOSetAoS<TR>>(info.lattice, backend);
+      fill_synthetic_orbitals<TR>(*backend, gx, gy, gz, spec.num_orbitals, opt.seed);
+      auto spos = std::make_shared<BsplineSPOSetAoS<TR>>(spec.lattice, backend);
       spos->set_batched_kernels(opt.spo_batched);
       sys.spos = std::move(spos);
     }
@@ -140,12 +143,12 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   {
     MemoryScope scope("wf-state");
     sys.twf = std::make_unique<TrialWaveFunction<TR>>(n);
-    const FullPrecReal rw = info.lattice.wigner_seitz_radius();
+    const FullPrecReal rw = spec.lattice.wigner_seitz_radius();
     const FullPrecReal rc_j2 = 0.99 * rw;
     auto f_uu = std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
-        ee_jastrow_shape(-0.25, rc_j2), -0.25, rc_j2, opt.jastrow_knots));
+        ee_jastrow_shape(-0.25, rc_j2), -0.25, rc_j2, spec.jastrow_knots));
     auto f_ud = std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
-        ee_jastrow_shape(-0.5, rc_j2), -0.5, rc_j2, opt.jastrow_knots));
+        ee_jastrow_shape(-0.5, rc_j2), -0.5, rc_j2, spec.jastrow_knots));
     if (opt.soa_layout)
     {
       auto j2 = std::make_unique<TwoBodyJastrowCurrent<TR>>(n, 2, sys.table_ee);
@@ -154,14 +157,14 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
       j2->add_functor(0, 1, f_ud);
       sys.twf->add_component(std::move(j2));
       auto j1 = std::make_unique<OneBodyJastrowCurrent<TR>>(*sys.ions, n, sys.table_ei);
-      for (std::size_t s = 0; s < info.species.size(); ++s)
+      for (std::size_t s = 0; s < spec.species.size(); ++s)
       {
-        const auto& sp = info.species[s];
+        const auto& sp = spec.species[s];
         const FullPrecReal rc = std::min(rw * 0.99, 4.5);
         j1->add_functor(static_cast<int>(s),
                         std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
                             ei_jastrow_shape(sp.j1_depth, sp.j1_width, rc), 0.0, rc,
-                            opt.jastrow_knots)));
+                            spec.jastrow_knots)));
       }
       sys.twf->add_component(std::move(j1));
     }
@@ -173,14 +176,14 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
       j2->add_functor(0, 1, f_ud);
       sys.twf->add_component(std::move(j2));
       auto j1 = std::make_unique<OneBodyJastrowRef<TR>>(*sys.ions, n, sys.table_ei);
-      for (std::size_t s = 0; s < info.species.size(); ++s)
+      for (std::size_t s = 0; s < spec.species.size(); ++s)
       {
-        const auto& sp = info.species[s];
+        const auto& sp = spec.species[s];
         const FullPrecReal rc = std::min(rw * 0.99, 4.5);
         j1->add_functor(static_cast<int>(s),
                         std::make_shared<CubicBsplineFunctor<TR>>(build_bspline_functor<TR>(
                             ei_jastrow_shape(sp.j1_depth, sp.j1_width, rc), 0.0, rc,
-                            opt.jastrow_knots)));
+                            spec.jastrow_knots)));
       }
       sys.twf->add_component(std::move(j1));
     }
@@ -199,22 +202,30 @@ QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
   {
     sys.ham = std::make_unique<Hamiltonian<TR>>();
     sys.ham->add_component(std::make_unique<KineticEnergy<TR>>());
-    sys.ham->add_component(std::make_unique<CoulombEE<TR>>(info.lattice, sys.table_ee));
+    sys.ham->add_component(std::make_unique<CoulombEE<TR>>(spec.lattice, sys.table_ee));
     std::vector<double> r_core;
-    for (const auto& sp : info.species)
+    for (const auto& sp : spec.species)
       r_core.push_back(sp.r_core);
     sys.ham->add_component(std::make_unique<CoulombEI<TR>>(*sys.ions, r_core, sys.table_ei));
     sys.ham->add_component(std::make_unique<CoulombII<TR>>(*sys.ions));
-    if (info.has_pseudopotential)
+    if (spec.has_pseudopotential)
     {
       std::vector<NLChannel> channels;
-      for (const auto& sp : info.species)
+      for (const auto& sp : spec.species)
         channels.push_back(NLChannel{1, sp.nl_amplitude, sp.nl_width, sp.nl_rcut});
       sys.ham->add_component(
           std::make_unique<NonLocalPP<TR>>(*sys.ions, channels, sys.table_ei));
     }
   }
   return sys;
+}
+
+/// Enum-workload convenience: forwards through to_spec(), so the two
+/// entry points share one build path and cannot drift apart.
+template<typename TR>
+QMCSystem<TR> build_system(const WorkloadInfo& info, const BuildOptions& opt)
+{
+  return build_system<TR>(to_spec(info), opt);
 }
 
 } // namespace qmcxx

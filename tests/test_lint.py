@@ -254,6 +254,53 @@ class TestScalarSpoInCrowdPath(LintFixtureCase):
             "};\n")
 
 
+class TestFloatAccumulatorInEstimator(LintFixtureCase):
+    def test_fires_on_float_local(self):
+        self.assert_fires(
+            "float-accumulator-in-estimator", "src/estimators/bad_float.h",
+            "template<typename TR>\n"
+            "struct E {\n"
+            "  void evaluate(const P<TR>& p, FullPrecReal* out) const {\n"
+            "    float acc = 0;\n"
+            "  }\n"
+            "};\n")
+
+    def test_fires_on_tr_accumulator(self):
+        self.assert_fires(
+            "float-accumulator-in-estimator", "src/estimators/bad_tr_acc.h",
+            "template<typename TR>\n"
+            "struct E {\n"
+            "  void evaluate(const P<TR>& p, FullPrecReal* out) const {\n"
+            "    TR acc = 0;\n"
+            "  }\n"
+            "};\n")
+
+    def test_fires_on_tr_vector_bins(self):
+        self.assert_fires(
+            "float-accumulator-in-estimator", "src/estimators/bad_tr_bins.h",
+            "template<typename TR>\n"
+            "struct E {\n"
+            "  std::vector<TR> norm_;\n"
+            "};\n")
+
+    def test_full_prec_bins_and_tr_row_views_are_clean(self):
+        self.assert_clean(
+            "src/estimators/ok_full_prec.h",
+            "template<typename TR>\n"
+            "struct E {\n"
+            "  void evaluate(const P<TR>& p, FullPrecReal* out) const {\n"
+            "    const TR* d = p.table(0).row_distances(1);\n"
+            "    FullPrecReal acc = 0;\n"
+            "    acc += static_cast<FullPrecReal>(d[0]);\n"
+            "  }\n"
+            "  std::vector<FullPrecReal> norm_;\n"
+            "};\n")
+
+    def test_other_directories_are_out_of_scope(self):
+        self.assert_clean("src/hamiltonian/ok_float.h",
+                          "inline float downsample(double x) { float y = 0; return y; }\n")
+
+
 class TestSuppression(LintFixtureCase):
     def test_allow_on_same_line(self):
         self.assert_clean(
@@ -318,7 +365,7 @@ class TestCliContract(LintFixtureCase):
         self.assertEqual(code, 0)
         for rule in ("rng-outside-core", "aos-in-hot-path", "chrono-outside-instrument",
                      "cout-in-src", "io-outside-snapshot", "double-in-tr-template",
-                     "scalar-spo-in-crowd-path"):
+                     "scalar-spo-in-crowd-path", "float-accumulator-in-estimator"):
             self.assertIn(rule, out)
 
 

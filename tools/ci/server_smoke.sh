@@ -18,9 +18,11 @@ REF="$WORK/ref"
 mkdir -p "$SPOOL" "$REF"
 
 # Job 1: a 12-step Graphite VMC chain, checkpointed every generation so
-# the SIGTERM lands between checkpoints. Job 2: a short DMC chain, so
-# branching state crosses the interrupt too.
-JOB1='{ "workload": "Graphite", "variant": "current", "dmc": false,
+# the SIGTERM lands between checkpoints; it also turns estimators on so
+# the named-observable stream (per-component energies, g(r)/S(k) bins)
+# crosses the interrupt and must survive resume bitwise. Job 2: a short
+# DMC chain, so branching state crosses the interrupt too.
+JOB1='{ "workload": "Graphite", "variant": "current", "dmc": false, "estimators": true,
   "driver": { "steps": 12, "num_walkers": 3, "seed": 2017, "num_threads": 1,
               "crowd_size": 4, "checkpoint_every": 1 } }'
 JOB2='{ "workload": "Graphite", "variant": "current", "dmc": true,
@@ -59,6 +61,20 @@ echo "server_smoke: resumed run"
   || { echo "server_smoke: resumed run did not retire both jobs" >&2; exit 1; }
 [ ! -f "$SPOOL/job1.json.snap" ] \
   || { echo "server_smoke: checkpoint not cleaned up after completion" >&2; exit 1; }
+
+# Job 1 asked for estimators: its generation records must carry the
+# named-observable extension (per-component energies plus the gofr /
+# sofk bin arrays) in every record.
+n_gen=$(grep -c '"generation"' "$REF/job1.json.stream")
+for key in '"observables"' '"gofr"' '"sofk"'; do
+  n_key=$(grep '"generation"' "$REF/job1.json.stream" | grep -c "$key" || true)
+  [ "$n_key" -eq "$n_gen" ] \
+    || { echo "server_smoke: $key missing from job1 generation records ($n_key/$n_gen)" >&2; exit 1; }
+done
+# Job 2 did not: its records must stay in the pre-estimator form.
+if grep '"generation"' "$REF/job2.json.stream" | grep -q '"estimators"'; then
+  echo "server_smoke: job2 streamed estimator bins without asking" >&2; exit 1
+fi
 
 # The streamed observables of interrupted + resumed must be identical
 # to the uninterrupted reference, record for record.

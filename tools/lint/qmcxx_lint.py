@@ -46,6 +46,15 @@ scalar-spo-in-crowd-path No scalar evaluate_v(...) / evaluate_vgl(...)
                          scalar loop in an mw_ method silently forfeits
                          the batched-kernel speedup; deliberate fallback
                          loops carry an inline allow annotation.
+float-accumulator-in-estimator  No reduced-precision accumulators inside
+                         src/estimators/ (PR 9): estimator bins sum over
+                         walkers and generations and are compared bitwise
+                         across engine variants, so sample buffers and
+                         partial sums must be qmcxx::FullPrecReal -- a
+                         `float` or TR-typed accumulator drifts under
+                         accumulation. TR stays legal for *reading* table
+                         rows (`const TR*` views); only value/vector
+                         declarations in TR or float are flagged.
 
 Suppression
 -----------
@@ -357,6 +366,16 @@ RULES: list[Rule] = [
         "scalar-spo-in-crowd-path",
         "scalar evaluate_v/evaluate_vgl calls inside mw_* crowd methods",
         include_dirs=("src/wavefunction/",),
+    ),
+    PatternRule(
+        "float-accumulator-in-estimator",
+        "reduced-precision accumulators in src/estimators/",
+        r"\bfloat\b|\bstd::vector<\s*TR\s*>|\bTR\s+[A-Za-z_]\w*\s*=\s*(?:0\b|TR\s*[({])",
+        "estimator bins and partial sums accumulate over walkers and "
+        "generations and compare bitwise across engine variants: declare "
+        "them qmcxx::FullPrecReal (float / TR values drift under "
+        "accumulation); TR remains legal for table-row views",
+        include_dirs=("src/estimators/",),
     ),
 ]
 

@@ -3,6 +3,7 @@
 // assessment criteria for the CORAL machines" (Sec. 4.1).
 //
 //   ./graphite_throughput [--seconds S] [--delay R]
+//                         [--precision single|double]
 //                         [--checkpoint PATH [--checkpoint-every N]]
 //                         [--resume PATH]
 //
@@ -10,9 +11,12 @@
 // Current engines for a fixed wall-time budget and reports the CORAL
 // figure of merit: MC samples generated per second. --delay R > 1
 // switches both engines to delayed (Woodbury) determinant updates with
-// a rank-R window (Sec. 8.4). The checkpoint flags apply to the
-// measured Current run: SIGINT checkpoints it at the next generation
-// barrier, and --resume continues a saved chain bitwise-exactly.
+// a rank-R window (Sec. 8.4). --precision forces both engines to the
+// given compute precision (overriding the variants' single/double
+// defaults), so the ratio compares layouts at equal word size. The
+// checkpoint flags apply to the measured Current run: SIGINT
+// checkpoints it at the next generation barrier, and --resume
+// continues a saved chain bitwise-exactly.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -21,6 +25,7 @@
 
 #include "drivers/qmc_system.h"
 #include "instrument/report.h"
+#include "io/job_spec.h"
 
 using namespace qmcxx;
 
@@ -35,13 +40,15 @@ int main(int argc, char** argv)
   double budget_s = 3.0;
   int delay_rank = 1;
   int checkpoint_every = 0;
-  std::string checkpoint_path, resume_path;
+  std::string checkpoint_path, resume_path, precision;
   for (int a = 1; a + 1 < argc; a += 2)
   {
     if (!std::strcmp(argv[a], "--seconds"))
       budget_s = std::atof(argv[a + 1]);
     if (!std::strcmp(argv[a], "--delay"))
       delay_rank = std::atoi(argv[a + 1]);
+    if (!std::strcmp(argv[a], "--precision"))
+      precision = argv[a + 1];
     if (!std::strcmp(argv[a], "--checkpoint"))
       checkpoint_path = argv[a + 1];
     if (!std::strcmp(argv[a], "--checkpoint-every"))
@@ -69,6 +76,8 @@ int main(int argc, char** argv)
     spec.driver.steps = 1;
     spec.driver.num_threads = 1;
     spec.driver.delay_rank = delay_rank;
+    if (!precision.empty())
+      spec.driver.precision.precision = io::precision_from_name(precision);
     EngineReport probe = run_engine(spec);
     const double step_cost = probe.result.seconds;
     spec.driver.steps = std::max(1, static_cast<int>(budget_s / std::max(1e-3, step_cost)));

@@ -1,8 +1,8 @@
 // NiO-32 diffusion Monte Carlo: the paper's flagship strongly-correlated
 // workload (Sec. 4.1), runnable under any engine configuration.
 //
-//   ./nio_dmc [--variant ref|refmp|current] [--steps N] [--walkers N]
-//             [--tau T] [--threads N] [--nio64]
+//   ./nio_dmc [--variant ref|refmp|current] [--precision single|double]
+//             [--steps N] [--walkers N] [--tau T] [--threads N] [--nio64]
 //             [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //
 // Prints per-generation DMC statistics (trial energy feedback,
@@ -10,7 +10,8 @@
 // production-style run of Alg. 1. With --checkpoint, SIGINT saves a
 // qmcxx-snap-v1 snapshot at the next generation barrier (exit code 3);
 // --resume continues the saved chain bitwise-exactly, branching
-// history included.
+// history included. --precision overrides the variant's compute
+// precision (the variant then contributes only its layout).
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -19,6 +20,7 @@
 
 #include "drivers/qmc_system.h"
 #include "instrument/report.h"
+#include "io/job_spec.h"
 
 using namespace qmcxx;
 
@@ -50,6 +52,8 @@ int main(int argc, char** argv)
           : v == "refmp"       ? EngineVariant::RefMP
                                : EngineVariant::Current;
     }
+    else if (a + 1 < argc && !std::strcmp(argv[a], "--precision"))
+      spec.driver.precision.precision = io::precision_from_name(argv[++a]);
     else if (a + 1 < argc && !std::strcmp(argv[a], "--steps"))
       spec.driver.steps = std::atoi(argv[++a]);
     else if (a + 1 < argc && !std::strcmp(argv[a], "--walkers"))

@@ -93,7 +93,13 @@ std::string generation_record(const std::string& job, int gen, const GenerationS
       ", \"weight\": " + io::json_number(s.weight) +
       ", \"num_walkers\": " + std::to_string(s.num_walkers) +
       ", \"acceptance\": " + io::json_number(s.acceptance) +
-      ", \"trial_energy\": " + io::json_number(s.trial_energy);
+      ", \"trial_energy\": " + io::json_number(s.trial_energy) +
+      // Drift-guard telemetry (Sec. 7.2): sampled rows derive purely
+      // from the generation counter and walker buffers round-trip the
+      // inverse bitwise, so these reduce identically across resume.
+      ", \"max_drift_residual\": " + io::json_number(s.max_drift_residual) +
+      ", \"drift_rows_sampled\": " + std::to_string(s.drift_rows_sampled) +
+      ", \"drift_refreshes\": " + std::to_string(s.drift_refreshes);
   if (s.labels != nullptr && s.component_energies.size() == s.labels->components.size())
   {
     rec += ", \"observables\": {";

@@ -2,6 +2,7 @@
 //
 //   ./spec_tool --export DIR        write the canonical spec set
 //   ./spec_tool --validate FILE...  parse + build each spec, fail loudly
+//   ./spec_tool --describe FILE...  parse + print each spec's summary
 //
 // --export writes the four paper workloads (lossless to_spec conversion
 // of the Workload enum table -- these are the committed specs/*.json
@@ -12,6 +13,10 @@
 // --validate is the CI gate for committed specs: each file must parse,
 // round-trip bitwise through serialize/parse, and build a complete
 // system (SPO set, trial wavefunction, Hamiltonian).
+//
+// --describe parses only (no build) and prints what the engine would
+// resolve from the file: sizes, species, delay rank, and the default
+// compute precision ("precision" key; unset defers to the variant).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -145,6 +150,40 @@ int validate_specs(const std::vector<std::string>& paths)
   return failures == 0 ? 0 : 1;
 }
 
+int describe_specs(const std::vector<std::string>& paths)
+{
+  int failures = 0;
+  for (const std::string& path : paths)
+  {
+    try
+    {
+      const SystemSpec spec = io::parse_system_spec(io::read_text_file(path), path);
+      const char* precision = spec.precision_bytes == 0
+          ? "unset (variant default)"
+          : (spec.precision_bytes == 8 ? "double" : "single");
+      std::printf("%s:\n", path.c_str());
+      std::printf("  name            %s\n", spec.name.c_str());
+      std::printf("  electrons       %d (%d orbitals)\n", spec.num_electrons,
+                  spec.num_orbitals);
+      std::printf("  grid            %d x %d x %d\n", spec.grid[0], spec.grid[1],
+                  spec.grid[2]);
+      std::printf("  species         %zu kinds, %zu ions%s\n", spec.species.size(),
+                  spec.ion_positions.size(),
+                  spec.has_pseudopotential ? " (pseudopotential)" : "");
+      std::printf("  delay_rank      %d\n", spec.delay_rank);
+      std::printf("  precision       %s\n", precision);
+      std::printf("  content hash    %llu\n",
+                  static_cast<unsigned long long>(spec_content_hash(spec)));
+    }
+    catch (const std::exception& e)
+    {
+      std::fprintf(stderr, "spec_tool: %s FAILED: %s\n", path.c_str(), e.what());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -153,8 +192,11 @@ int main(int argc, char** argv)
     return export_specs(argv[2]);
   if (argc >= 3 && !std::strcmp(argv[1], "--validate"))
     return validate_specs(std::vector<std::string>(argv + 2, argv + argc));
+  if (argc >= 3 && !std::strcmp(argv[1], "--describe"))
+    return describe_specs(std::vector<std::string>(argv + 2, argv + argc));
   std::fprintf(stderr,
                "usage: spec_tool --export DIR\n"
-               "       spec_tool --validate FILE...\n");
+               "       spec_tool --validate FILE...\n"
+               "       spec_tool --describe FILE...\n");
   return 1;
 }

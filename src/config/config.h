@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -72,6 +73,95 @@ inline const char* to_string(EngineVariant v)
   }
   return "unknown";
 }
+
+/// Compute precision of the hot path (the TR template parameter),
+/// selectable at run time. `Single` is the paper's production mixed
+/// precision (TR = float tables/kernels, FullPrecReal accumulators and
+/// inversions, Sec. 7.2); `Double` is the full-precision reference.
+enum class Precision
+{
+  Double, ///< TR = double everywhere
+  Single  ///< TR = float hot path, double accumulators (mixed precision)
+};
+
+inline const char* to_string(Precision p)
+{
+  return p == Precision::Double ? "double" : "single";
+}
+
+/// sizeof(TR) for a precision value; matches the qmcxx-snap-v1
+/// precision_bytes tag.
+inline int precision_bytes(Precision p)
+{
+  return p == Precision::Double ? 8 : 4;
+}
+
+/// Data-layout half of the engine taxonomy: the paper's Ref engines are
+/// AoS store-over-compute, the Current engines SoA forward-update.
+enum class EngineLayout
+{
+  Aos, ///< AoS containers, store-over-compute (Ref algorithms)
+  Soa  ///< SoA containers, forward update, compute-on-the-fly
+};
+
+inline const char* to_string(EngineLayout l)
+{
+  return l == EngineLayout::Aos ? "aos" : "soa";
+}
+
+/// The four EngineVariant spellings are aliases over the orthogonal
+/// {layout} x {precision} grid; these helpers map between the two
+/// views. The drivers dispatch on (layout, precision) -- the variant
+/// names survive only as user-facing aliases and fingerprint labels.
+inline EngineLayout layout_of(EngineVariant v)
+{
+  return (v == EngineVariant::Ref || v == EngineVariant::RefMP) ? EngineLayout::Aos
+                                                                : EngineLayout::Soa;
+}
+
+inline Precision precision_of(EngineVariant v)
+{
+  return (v == EngineVariant::Ref || v == EngineVariant::CurrentDP) ? Precision::Double
+                                                                    : Precision::Single;
+}
+
+/// Canonical variant alias for a (layout, precision) cell -- the name
+/// stamped into checkpoint fingerprints so an aliased run and its
+/// precision-overridden equivalent agree on identity.
+inline EngineVariant variant_for(EngineLayout l, Precision p)
+{
+  if (l == EngineLayout::Aos)
+    return p == Precision::Double ? EngineVariant::Ref : EngineVariant::RefMP;
+  return p == Precision::Double ? EngineVariant::CurrentDP : EngineVariant::Current;
+}
+
+/// Runtime precision policy (paper Sec. 7.2): which TR the engine
+/// computes in, plus the drift-guard knobs that make the float path
+/// production-safe. Threaded DriverConfig -> EngineRunSpec ->
+/// run_engine; the monitor itself lives in DiracDeterminant.
+///
+/// The guard samples `drift_sample_rows` rotating rows of the inverse
+/// each generation (row indices derived from the generation counter
+/// only, so chains stay bitwise-identical across crowd_size x
+/// num_threads decompositions) and computes the FullPrecReal residual
+/// ||psi_row . A^-1 - e_k||_inf. A residual above `drift_tolerance`
+/// triggers a from-scratch refresh; `refresh_interval > 0` additionally
+/// forces one every that many generations regardless of residual.
+struct PrecisionPolicy
+{
+  /// Compute precision. Unset means "inherit": first from the system
+  /// spec's optional precision default, else from the variant alias.
+  std::optional<Precision> precision;
+  /// Refresh when the sampled inverse residual exceeds this (0 disables
+  /// residual-triggered refreshes; double-path residuals ~1e-12 never
+  /// reach the default, keeping double chains bitwise-identical).
+  double drift_tolerance = 1e-3;
+  /// Force a from-scratch refresh every N generations (0 = never).
+  int refresh_interval = 0;
+  /// Rows of each determinant inverse sampled per generation (0
+  /// disables the monitor entirely).
+  int drift_sample_rows = 2;
+};
 
 /// Unified run-shape validation. Degenerate crowd/delay/thread
 /// configurations (crowd_size <= 0, delay_rank < 1, num_threads < 0,

@@ -59,6 +59,31 @@ inline void validate_config(const DriverConfig& c)
   if (c.checkpoint_every > 0 && c.checkpoint_path.empty())
     throw std::invalid_argument(
         "DriverConfig: checkpoint_every > 0 requires a checkpoint_path");
+  validate::at_least("DriverConfig", "precision.refresh_interval", c.precision.refresh_interval,
+                     0, "0 = never forced");
+  validate::at_least("DriverConfig", "precision.drift_sample_rows", c.precision.drift_sample_rows,
+                     0, "0 = monitor off");
+  // Written as !(x >= 0) so NaN is rejected too; 0 disables the
+  // residual trigger without disabling forced refreshes.
+  if (!(c.precision.drift_tolerance >= 0.0))
+    throw std::invalid_argument(
+        "DriverConfig: precision.drift_tolerance must be >= 0 (0 = residual trigger off), got " +
+        std::to_string(c.precision.drift_tolerance));
+}
+
+/// Barrier-side reduction of the per-crowd drift-guard tallies into the
+/// generation record and the run totals (order-independent: sums and a
+/// max).
+inline void reduce_drift(const InverseDriftReport& drift, GenerationStats& stats,
+                         RunResult& result)
+{
+  stats.max_drift_residual = drift.max_residual;
+  stats.drift_rows_sampled = drift.rows_sampled;
+  stats.drift_refreshes = drift.refreshes;
+  if (drift.max_residual > result.max_drift_residual)
+    result.max_drift_residual = drift.max_residual;
+  result.total_drift_rows_sampled += drift.rows_sampled;
+  result.total_drift_refreshes += drift.refreshes;
 }
 
 /// Weighted Welford/West accumulator for the population statistics.
@@ -373,7 +398,7 @@ bool QMCDriver<TR>::checkpoint_barrier(int gen, io::ChainKind kind)
 template<typename TR>
 typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR>& ctx, Walker& w,
                                                                  RandomGenerator& rng,
-                                                                 bool recompute, int iw)
+                                                                 bool recompute, int iw, int gen)
 {
   ParticleSet<TR>& p = ctx.crowd->elec(0);
   TrialWaveFunction<TR>& twf = ctx.crowd->twf(0);
@@ -433,6 +458,9 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
   p.update();
   out.local_energy = ctx.crowd->ham(0).evaluate(p, twf);
   record_samples(ctx, 0, iw);
+  // Drift guard at the measurement barrier (Sec. 7.2), before the
+  // buffer write so a fired refresh is what gets serialized.
+  twf.monitor_inverse_drift(p, config_.precision, gen, out.drift);
   twf.update_buffer(w);
   p.store_walker(w);
   w.old_local_energy = w.local_energy;
@@ -443,7 +471,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_walker(CrowdContext<TR
 
 template<typename TR>
 typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>& ctx, int first,
-                                                                int n, bool recompute)
+                                                                int n, bool recompute, int gen)
 {
   Crowd<TR>& crowd = *ctx.crowd;
   crowd.acquire(&pop_.walkers[first], &pop_.rngs[first], n, recompute);
@@ -519,6 +547,11 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
   // rows [first, first + n) belong to this crowd alone.
   for (int iw = 0; iw < n; ++iw)
     record_samples(ctx, iw, first + iw);
+  // Drift guard at the measurement barrier (Sec. 7.2), slot by slot in
+  // walker order before release() serializes the buffers. Row selection
+  // depends only on `gen`, so every decomposition samples identically.
+  for (int iw = 0; iw < n; ++iw)
+    crowd.twf(iw).monitor_inverse_drift(crowd.elec(iw), config_.precision, gen, out.drift);
   crowd.release();
   for (int iw = 0; iw < n; ++iw)
   {
@@ -532,7 +565,7 @@ typename QMCDriver<TR>::SweepOutcome QMCDriver<TR>::sweep_crowd(CrowdContext<TR>
 
 template<typename TR>
 std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_crowds(
-    bool recompute)
+    bool recompute, int gen)
 {
   const int nw = pop_.size();
   const int cs = config_.crowd_size;
@@ -552,8 +585,8 @@ std::vector<typename QMCDriver<TR>::SweepOutcome> QMCDriver<TR>::run_generation_
     const int count = nw - lo < cs ? nw - lo : cs;
     outcomes[ic] = cs <= 1
         // Legacy per-walker path (the crowd_size == 1 degenerate case).
-        ? sweep_walker(ctx, *pop_.walkers[lo], pop_.rngs[lo], recompute, lo)
-        : sweep_crowd(ctx, lo, count, recompute);
+        ? sweep_walker(ctx, *pop_.walkers[lo], pop_.rngs[lo], recompute, lo, gen)
+        : sweep_crowd(ctx, lo, count, recompute, gen);
   });
   return outcomes;
 }
@@ -572,15 +605,20 @@ RunResult QMCDriver<TR>::run_vmc()
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
     const int nw = pop_.size();
-    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute);
+    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute, gen);
 
     // Serial barrier-side reduction in fixed walker/crowd order: the
     // statistics are bitwise-identical for every thread count.
     std::int64_t accepted = 0, proposed = 0;
+    InverseDriftReport drift;
     for (const SweepOutcome& out : outcomes)
     {
       accepted += out.accepted;
       proposed += out.proposed;
+      drift.rows_sampled += out.drift.rows_sampled;
+      drift.refreshes += out.drift.refreshes;
+      if (out.drift.max_residual > drift.max_residual)
+        drift.max_residual = out.drift.max_residual;
     }
     detail::WeightedWelford acc;
     for (const auto& w : pop_.walkers)
@@ -592,6 +630,7 @@ RunResult QMCDriver<TR>::run_vmc()
     stats.energy = acc.mean;
     stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    detail::reduce_drift(drift, stats, result);
     reduce_observables(stats, /*weighted=*/false);
     result.generations.push_back(stats);
     result.total_samples += nw;
@@ -639,16 +678,21 @@ RunResult QMCDriver<TR>::run_dmc()
     const bool recompute =
         config_.recompute_period > 0 && gen > 0 && gen % config_.recompute_period == 0;
     const int nw = pop_.size();
-    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute);
+    const std::vector<SweepOutcome> outcomes = run_generation_crowds(recompute, gen);
 
     // Serial barrier-side steps, all in fixed walker/crowd order:
     // reweight (Alg. 1 L13, symmetric local-energy average), weighted
     // Welford statistics, then branching below.
     std::int64_t accepted = 0, proposed = 0;
+    InverseDriftReport drift;
     for (const SweepOutcome& out : outcomes)
     {
       accepted += out.accepted;
       proposed += out.proposed;
+      drift.rows_sampled += out.drift.rows_sampled;
+      drift.refreshes += out.drift.refreshes;
+      if (out.drift.max_residual > drift.max_residual)
+        drift.max_residual = out.drift.max_residual;
     }
     detail::WeightedWelford acc;
     for (const auto& wp : pop_.walkers)
@@ -667,6 +711,7 @@ RunResult QMCDriver<TR>::run_dmc()
     stats.energy = acc.mean;
     stats.variance = acc.variance();
     stats.acceptance = proposed > 0 ? static_cast<double>(accepted) / proposed : 0.0;
+    detail::reduce_drift(drift, stats, result);
     // Observables reduce with the post-reweight weights, before
     // branching rearranges the population (sample rows are keyed by
     // pre-branch walker order).

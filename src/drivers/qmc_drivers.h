@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "concurrency/parallel_crowd_runner.h"
+#include "config/config.h"
 #include "drivers/crowd.h"
 #include "hamiltonian/hamiltonian.h"
 #include "io/snapshot.h"
@@ -93,6 +94,11 @@ struct DriverConfig
   /// reduced (absolute generation index). Used by qmc_server to stream
   /// incremental scalar observables; must not throw.
   std::function<void(int, const GenerationStats&)> on_generation;
+  /// Runtime precision policy (paper Sec. 7.2): compute precision plus
+  /// the inverse-drift guard knobs. The `precision` field is resolved by
+  /// run_engine before the driver is built; the guard knobs are read
+  /// each generation at the measurement barrier.
+  PrecisionPolicy precision;
 };
 
 /// Per-generation record (Alg. 1 bookkeeping).
@@ -113,6 +119,12 @@ struct GenerationStats
   /// empty unless an EstimatorSet is attached. Same reduction contract
   /// as component_energies.
   std::vector<FullPrecReal> estimator_bins;
+  /// Inverse-drift guard tallies (paper Sec. 7.2), reduced over all
+  /// walkers at the barrier: worst sampled residual
+  /// ||psi_row . A^-1 - e_k||_inf, rows sampled, refreshes fired.
+  FullPrecReal max_drift_residual = 0.0;
+  std::uint64_t drift_rows_sampled = 0;
+  std::uint64_t drift_refreshes = 0;
   std::shared_ptr<const ObservableLabels> labels;
 };
 
@@ -127,6 +139,11 @@ struct RunResult
   double throughput = 0.0;         ///< samples per second (paper Sec. 6.2)
   int start_generation = 0;        ///< first generation index of this run (resume offset)
   bool interrupted = false;        ///< stop_flag fired; state was checkpointed if configured
+  /// Run-level drift-guard tallies: worst residual over the whole run
+  /// and totals of the per-generation counters.
+  FullPrecReal max_drift_residual = 0.0;
+  std::uint64_t total_drift_rows_sampled = 0;
+  std::uint64_t total_drift_refreshes = 0;
   /// Post-warmup averages of the named observables (unweighted over
   /// generations, matching mean_energy).
   std::vector<FullPrecReal> mean_component_energies;
@@ -218,14 +235,17 @@ private:
     int accepted = 0;
     int proposed = 0;
     FullPrecReal local_energy = 0.0;
+    InverseDriftReport drift; ///< guard tallies for the swept walkers
   };
 
   /// One PbyP drift-diffusion sweep over all electrons of one walker,
   /// followed by the local-energy measurement (Alg. 1 L4-L11). Legacy
   /// crowd_size == 1 path, run against slot 0 of the thread's crowd.
-  /// `iw` is the walker's global population index (its sample row).
+  /// `iw` is the walker's global population index (its sample row);
+  /// `gen` the absolute generation index (drives the drift guard's
+  /// rotating row selection).
   SweepOutcome sweep_walker(CrowdContext<TR>& ctx, Walker& w, RandomGenerator& rng,
-                            bool recompute, int iw);
+                            bool recompute, int iw, int gen);
 
   /// Record the measurement-point observables of crowd slot `slot`
   /// (Hamiltonian last_value components, estimator bins) into global
@@ -243,13 +263,14 @@ private:
   /// into the crowd, move every electron for all walkers in lockstep
   /// through the mw_* API, measure, release. Walker energies/ages are
   /// updated in place; returns the acceptance counters.
-  SweepOutcome sweep_crowd(CrowdContext<TR>& ctx, int first, int n, bool recompute);
+  SweepOutcome sweep_crowd(CrowdContext<TR>& ctx, int first, int n, bool recompute, int gen);
 
   /// Run one generation's crowds on the pool: crowd ic sweeps the
   /// population slice [ic*crowd_size, ...) on whichever thread claims
   /// it, with all per-crowd results keyed by ic. Returns per-crowd
-  /// outcomes in crowd order (the fixed reduction order).
-  std::vector<SweepOutcome> run_generation_crowds(bool recompute);
+  /// outcomes in crowd order (the fixed reduction order). `gen` is the
+  /// absolute generation index (resume offset included).
+  std::vector<SweepOutcome> run_generation_crowds(bool recompute, int gen);
 
   void make_crowd_contexts();
 

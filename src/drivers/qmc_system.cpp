@@ -1,5 +1,8 @@
 #include "drivers/qmc_system.h"
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "drivers/qmc_drivers.h"
 #include "estimators/estimators.h"
@@ -16,7 +19,8 @@ namespace
 {
 
 template<typename TR>
-EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
+EngineReport run_typed(const EngineRunSpec& spec, const SystemSpec& sysspec,
+                       EngineVariant effective_variant)
 {
   auto& mt = MemoryTracker::instance();
   auto& timers = TimerRegistry::instance();
@@ -24,13 +28,8 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   const std::size_t mem0 = mt.current();
 
   const Stopwatch build_watch;
-  // Single resolution point: enum workloads convert losslessly through
-  // to_spec, spec files parse into the same struct -- one build path.
-  const SystemSpec sysspec = spec.spec_path.empty()
-      ? to_spec(workload_info(spec.workload))
-      : io::parse_system_spec(io::read_text_file(spec.spec_path), spec.spec_path);
   BuildOptions opt;
-  opt.soa_layout = soa_layout;
+  opt.soa_layout = layout_of(effective_variant) == EngineLayout::Soa;
   opt.seed = spec.driver.seed;
   // The spec's delay_rank is a default; an explicit driver request
   // (> 1) wins so job files can still A/B the delayed path.
@@ -41,11 +40,13 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   // Stamp the workload identity into the driver config so snapshots
   // written by this run carry it, and restores verify it. The resolved
   // spec's content hash distinguishes same-named different-content
-  // specs (satellite of the spec-ingestion contract).
+  // specs (satellite of the spec-ingestion contract). The variant label
+  // is the canonical {layout} x {precision} alias, so an aliased run
+  // and its precision-overridden equivalent agree on identity.
   DriverConfig dcfg = spec.driver;
   dcfg.delay_rank = opt.delay_rank;
   dcfg.checkpoint_fingerprint = io::workload_fingerprint(
-      sysspec.name, to_string(spec.variant), dcfg.delay_rank, spec_content_hash(sysspec));
+      sysspec.name, to_string(effective_variant), dcfg.delay_rank, spec_content_hash(sysspec));
   QMCDriver<TR> driver(*sys.elec, *sys.twf, *sys.ham, dcfg);
   if (spec.estimators)
     driver.set_estimators(
@@ -76,22 +77,54 @@ EngineReport run_typed(const EngineRunSpec& spec, bool soa_layout)
   return report;
 }
 
+/// Effective compute precision of a run. Resolution order: explicit
+/// policy (job "precision" key / CLI --precision) > spec-file default >
+/// the variant alias's precision half. With nothing set, the legacy
+/// variant names behave exactly as the old 4-way switch.
+Precision resolve_precision(const EngineRunSpec& spec, const SystemSpec& sysspec)
+{
+  if (spec.driver.precision.precision)
+    return *spec.driver.precision.precision;
+  if (sysspec.precision_bytes == 4)
+    return Precision::Single;
+  if (sysspec.precision_bytes == 8)
+    return Precision::Double;
+  return precision_of(spec.variant);
+}
+
 } // namespace
 
 EngineReport run_engine(const EngineRunSpec& spec)
 {
-  switch (spec.variant)
+  // Single resolution point: enum workloads convert losslessly through
+  // to_spec, spec files parse into the same struct -- one build path.
+  const SystemSpec sysspec = spec.spec_path.empty()
+      ? to_spec(workload_info(spec.workload))
+      : io::parse_system_spec(io::read_text_file(spec.spec_path), spec.spec_path);
+  const Precision prec = resolve_precision(spec, sysspec);
+  // Orthogonal {layout} x {precision} dispatch: the variant supplies
+  // only its layout half once precision is resolved.
+  const EngineVariant effective = variant_for(layout_of(spec.variant), prec);
+
+  // Job-level resume guard: an *explicit* precision request that
+  // contradicts the snapshot's sizeof(TR) tag fails here with a named
+  // error before any build work. Implicit (alias-derived) mismatches
+  // still fail inside restore_snapshot with the snapshot-layer message.
+  if (spec.driver.precision.precision && !spec.resume_path.empty())
   {
-  case EngineVariant::Ref:
-    return run_typed<double>(spec, /*soa=*/false);
-  case EngineVariant::RefMP:
-    return run_typed<float>(spec, /*soa=*/false);
-  case EngineVariant::Current:
-    return run_typed<float>(spec, /*soa=*/true);
-  case EngineVariant::CurrentDP:
-    return run_typed<double>(spec, /*soa=*/true);
+    const io::PopulationSnapshot snap = io::read_snapshot_file(spec.resume_path);
+    if (snap.precision_bytes != static_cast<std::uint32_t>(precision_bytes(prec)))
+      throw std::runtime_error(
+          std::string("qmcxx-spec: requested precision \"") + to_string(prec) + "\" (" +
+          std::to_string(precision_bytes(prec)) + "-byte) contradicts resume snapshot " +
+          spec.resume_path + ", which was written by a " +
+          (snap.precision_bytes == 8 ? "double" : "single") + " (" +
+          std::to_string(snap.precision_bytes) +
+          "-byte) engine; drop the \"precision\" override or resume with the matching one");
   }
-  return {};
+
+  return prec == Precision::Double ? run_typed<double>(spec, sysspec, effective)
+                                   : run_typed<float>(spec, sysspec, effective);
 }
 
 } // namespace qmcxx

@@ -35,6 +35,11 @@ struct EngineRunSpec
   /// the workload enum as the system source (the two build paths are
   /// bitwise-identical for equal specs).
   std::string spec_path;
+  /// Engine configuration alias. Since precision became a runtime
+  /// policy, the variant contributes its layout half unconditionally
+  /// and its precision half only as the lowest-priority default: an
+  /// explicit driver.precision.precision, then a spec-file "precision"
+  /// key, override it (run_engine's resolve order).
   EngineVariant variant = EngineVariant::Current;
   DriverConfig driver;
   bool dmc = true; ///< DMC (Alg. 1) vs VMC sampling

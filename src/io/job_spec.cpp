@@ -312,6 +312,12 @@ void parse_driver_object(Parser& p, DriverConfig& d)
       d.delay_rank = p.parse_int();
     else if (key == "checkpoint_every")
       d.checkpoint_every = p.parse_int();
+    else if (key == "drift_tolerance")
+      d.precision.drift_tolerance = p.parse_double();
+    else if (key == "refresh_interval")
+      d.precision.refresh_interval = p.parse_int();
+    else if (key == "drift_sample_rows")
+      d.precision.drift_sample_rows = p.parse_int();
     else
       p.fail("unknown driver key '" + key + "'");
   } while (p.consume_if(','));
@@ -350,6 +356,16 @@ EngineVariant variant_from_name(const std::string& s)
                            "' (expected ref, refmp, current or currentdp)");
 }
 
+Precision precision_from_name(const std::string& s)
+{
+  const std::string n = lower(s);
+  if (n == "single")
+    return Precision::Single;
+  if (n == "double")
+    return Precision::Double;
+  throw std::runtime_error("unknown precision '" + s + "' (expected single or double)");
+}
+
 JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name)
 {
   JobSpec spec;
@@ -372,6 +388,8 @@ JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name
         spec.spec_path = p.parse_string();
       else if (key == "variant")
         spec.variant = variant_from_name(p.parse_string());
+      else if (key == "precision")
+        spec.driver.precision.precision = precision_from_name(p.parse_string());
       else if (key == "dmc")
         spec.dmc = p.parse_bool();
       else if (key == "estimators")
@@ -435,6 +453,8 @@ SystemSpec parse_system_spec(const std::string& json_text, const std::string& or
         parse_jastrow_object(p, spec);
       else if (key == "delay_rank")
         spec.delay_rank = p.parse_int();
+      else if (key == "precision")
+        spec.precision_bytes = precision_bytes(precision_from_name(p.parse_string()));
       else if (key == "pseudopotential")
         spec.has_pseudopotential = p.parse_bool();
       else if (key == "species")
@@ -538,6 +558,10 @@ std::string serialize_system_spec(const SystemSpec& spec)
      << " },\n";
   os << "  \"jastrow\": { \"knots\": " << spec.jastrow_knots << " },\n";
   os << "  \"delay_rank\": " << spec.delay_rank << ",\n";
+  // Optional key, written only when set: committed precision-less specs
+  // stay byte-identical and still round-trip bitwise.
+  if (spec.precision_bytes != 0)
+    os << "  \"precision\": \"" << (spec.precision_bytes == 8 ? "double" : "single") << "\",\n";
   os << "  \"pseudopotential\": " << (spec.has_pseudopotential ? "true" : "false") << ",\n";
   os << "  \"species\": [\n";
   for (std::size_t s = 0; s < spec.species.size(); ++s)

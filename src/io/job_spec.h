@@ -72,6 +72,10 @@ struct JobSpec
 /// accepts the display names "Ref+MP" etc). Throws on anything else.
 [[nodiscard]] EngineVariant variant_from_name(const std::string& s);
 
+/// "single" / "double" (case-insensitive), the job-spec and
+/// qmcxx-spec-v1 "precision" values. Throws on anything else.
+[[nodiscard]] Precision precision_from_name(const std::string& s);
+
 /// Parse one job-request JSON object. Throws std::runtime_error with a
 /// position/key-naming message on malformed input or unknown keys.
 [[nodiscard]] JobSpec parse_job_spec(const std::string& json_text, const std::string& job_name);

@@ -224,14 +224,15 @@ std::uint64_t workload_fingerprint(std::string_view workload, std::string_view v
 void validate_compatible(const PopulationSnapshot& snap, const SnapshotExpectation& expect)
 {
   const auto precision_name = [](std::uint32_t b) {
-    return b == 4 ? "float" : b == 8 ? "double" : "unknown";
+    return b == 4 ? "single" : b == 8 ? "double" : "unknown";
   };
   if (snap.precision_bytes != expect.precision_bytes)
     throw std::runtime_error(
         std::string("qmcxx-snap: precision tag mismatch: snapshot was written by a ") +
-        precision_name(snap.precision_bytes) + "(" + std::to_string(snap.precision_bytes) +
+        precision_name(snap.precision_bytes) + " (" + std::to_string(snap.precision_bytes) +
         "-byte) engine, this engine computes in " + precision_name(expect.precision_bytes) +
-        "(" + std::to_string(expect.precision_bytes) + "-byte)");
+        " (" + std::to_string(expect.precision_bytes) +
+        "-byte); rerun with the matching \"precision\" policy (or variant alias)");
   if (expect.fingerprint != 0 && snap.workload_fingerprint != 0 &&
       snap.workload_fingerprint != expect.fingerprint)
     throw std::runtime_error("qmcxx-snap: workload fingerprint mismatch (snapshot " +

@@ -322,6 +322,17 @@ public:
 
   int pending_updates() const { return engine_.pending(); }
 
+  /// Drift guard at the same barrier discipline as measurement: the
+  /// residual must read the committed inverse, so the Woodbury window
+  /// flushes first (after which a refresh-triggered recompute sees an
+  /// empty window and needs no clear).
+  void monitor_inverse_drift(ParticleSet<TR>& p, const PrecisionPolicy& pol, int gen,
+                             InverseDriftReport& rep) override
+  {
+    flush_window();
+    Base::monitor_inverse_drift(p, pol, gen, rep);
+  }
+
 protected:
   /// Ratios and gradients see the inverse through the pending window.
   const TR* inverse_row(int kl) override

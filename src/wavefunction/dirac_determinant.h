@@ -360,6 +360,76 @@ public:
     buf.get(sign_);
   }
 
+  /// Inverse-drift guard (paper Sec. 7.2). Samples
+  /// `pol.drift_sample_rows` rotating rows of the inverse -- row indices
+  /// derived from the generation counter only, so every crowd/thread
+  /// decomposition samples the same rows of the same walker and chains
+  /// stay bitwise-identical -- and computes the FullPrecReal residual
+  /// ||psi_row . A^-1 - e_k||_inf from freshly staged SPO rows. A
+  /// residual above tolerance triggers recompute_with_row reusing the
+  /// staged row; `pol.refresh_interval` forces a periodic full rebuild.
+  /// Read-only unless a refresh fires: double-precision residuals
+  /// (~1e-12) never reach the default tolerance, so double chains are
+  /// untouched by the guard.
+  void monitor_inverse_drift(ParticleSet<TR>& p, const PrecisionPolicy& pol, int gen,
+                             InverseDriftReport& rep) override
+  {
+    if (pol.refresh_interval > 0 && gen > 0 && gen % pol.refresh_interval == 0)
+    {
+      recompute(p);
+      ++rep.refreshes;
+      return; // freshly rebuilt: nothing left to sample this generation
+    }
+    const int nsample = nel_ < pol.drift_sample_rows ? nel_ : pol.drift_sample_rows;
+    if (nsample <= 0 || !(pol.drift_tolerance > 0.0))
+      return;
+    if (drift_rows_ < nsample)
+    {
+      drift_scratch_.resize(nsample, spos_->num_orbitals(), /*pad_rows=*/true);
+      drift_rows_ = nsample;
+    }
+    pos_scratch_.resize(static_cast<std::size_t>(nsample));
+    for (int i = 0; i < nsample; ++i)
+    {
+      // Guard sampling at the Sec. 7.2 cadence, off the per-move hot path.
+      // qmcxx-lint: allow(aos-in-hot-path)
+      pos_scratch_[static_cast<std::size_t>(i)] = p.pos(first_ + sampled_row(gen, pol, i));
+    }
+    spos_->mw_evaluate_v(pos_scratch_.data(), nsample, drift_scratch_.data(),
+                         drift_scratch_.stride());
+    for (int i = 0; i < nsample; ++i)
+    {
+      const int kl = sampled_row(gen, pol, i);
+      const TR* __restrict pv = drift_scratch_.row(i);
+      // Max-norm of psi_row . A^-1 - e_kl; column m of A^-1 is row m of
+      // the transposed store. Dots deliberately in full precision (lint
+      // rule fullprec-drift-accumulator).
+      FullPrecReal residual = 0.0;
+      for (int m = 0; m < nel_; ++m)
+      {
+        const TR* __restrict invrow = minv_.row(m);
+        FullPrecReal dot = 0.0;
+#pragma omp simd reduction(+ : dot)
+        for (int j = 0; j < nel_; ++j)
+          dot += static_cast<FullPrecReal>(pv[j]) * static_cast<FullPrecReal>(invrow[j]);
+        const FullPrecReal err = std::abs(dot - (m == kl ? 1.0 : 0.0));
+        if (err > residual)
+          residual = err;
+      }
+      ++rep.rows_sampled;
+      if (residual > rep.max_residual)
+        rep.max_residual = residual;
+      if (residual > pol.drift_tolerance)
+      {
+        // Tolerance exceeded: from-scratch refresh reusing the row just
+        // staged; the whole inverse is rebuilt, so stop sampling.
+        recompute_with_row(p, kl, pv);
+        ++rep.refreshes;
+        break;
+      }
+    }
+  }
+
   /// Direct access for tests and the delayed-update comparison.
   const Matrix<TR>& inverse_transposed() const { return minv_; }
   Matrix<TR>& inverse_transposed() { return minv_; }
@@ -374,6 +444,15 @@ protected:
   /// Row kl of the inverse as ratios and gradients must see it. The
   /// delayed subclass returns the engine-corrected effective row.
   virtual const TR* inverse_row(int kl) { return minv_.row(kl); }
+
+  /// i-th drift-guard row for a generation: a rotating window over the
+  /// local rows, a pure function of (gen, policy) so that every
+  /// crowd_size x num_threads decomposition samples identically.
+  int sampled_row(int gen, const PrecisionPolicy& pol, int i) const
+  {
+    return static_cast<int>(
+        (static_cast<long long>(gen) * pol.drift_sample_rows + i) % nel_);
+  }
 
   /// Commit an accepted move whose orbital values/derivatives live in
   /// the given rows (member scratch on the scalar path, the shared
@@ -558,10 +637,12 @@ protected:
   // Batched value-fan staging (grown on demand, dim-guarded separately
   // so the NLPP quadrature fan and the full-rebuild row sweep do not
   // thrash each other's allocation).
-  Matrix<TR> vq_scratch_;   // quadrature fan rows (ratios_virtual)
-  Matrix<TR> vrow_scratch_; // rebuild rows (recompute_with_row)
+  Matrix<TR> vq_scratch_;    // quadrature fan rows (ratios_virtual)
+  Matrix<TR> vrow_scratch_;  // rebuild rows (recompute_with_row)
+  Matrix<TR> drift_scratch_; // guard-sample rows (monitor_inverse_drift)
   int vq_rows_ = 0;
   int vrow_rows_ = 0;
+  int drift_rows_ = 0;
   std::vector<Pos> pos_scratch_;
   FullPrecReal cur_ratio_ = 1.0;
   bool cur_vgl_valid_ = false;

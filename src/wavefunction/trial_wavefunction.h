@@ -145,6 +145,21 @@ public:
     }
   }
 
+  /// Inverse-drift guard sweep (paper Sec. 7.2): every component gets
+  /// the hook (only determinants do work), accumulating into `rep`. A
+  /// fired refresh replaces a component's log value wholesale, so the
+  /// cached product log is re-synced before update_buffer writes it
+  /// into the walker record.
+  void monitor_inverse_drift(ParticleSet<TR>& p, const PrecisionPolicy& pol, int gen,
+                             InverseDriftReport& rep)
+  {
+    const std::uint64_t before = rep.refreshes;
+    for (auto& c : components_)
+      c->monitor_inverse_drift(p, pol, gen, rep);
+    if (rep.refreshes != before)
+      log_value_ = log_value();
+  }
+
   /// Sum of component log values: stays current through accepted moves
   /// (each component maintains its own log under the PbyP protocol).
   [[nodiscard]] double log_value() const

@@ -8,6 +8,7 @@
 #ifndef QMCXX_WAVEFUNCTION_WAVEFUNCTION_COMPONENT_H
 #define QMCXX_WAVEFUNCTION_WAVEFUNCTION_COMPONENT_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,18 @@
 
 namespace qmcxx
 {
+
+/// Per-walker tally of the inverse-drift guard (paper Sec. 7.2): the
+/// worst sampled residual ||psi_row . A^-1 - e_k||_inf seen this
+/// generation, how many rows were sampled, and how many from-scratch
+/// refreshes fired. Accumulated in FullPrecReal; reduced into
+/// GenerationStats by the driver.
+struct InverseDriftReport
+{
+  FullPrecReal max_residual = 0.0;
+  std::uint64_t rows_sampled = 0;
+  std::uint64_t refreshes = 0;
+};
 
 template<typename TR>
 class WaveFunctionComponent
@@ -79,6 +92,21 @@ public:
   virtual void register_data(PooledBuffer& buf) = 0;
   virtual void update_buffer(PooledBuffer& buf) = 0;
   virtual void copy_from_buffer(ParticleSet<TR>& p, PooledBuffer& buf) = 0;
+
+  /// Inverse-drift guard hook (paper Sec. 7.2): sample rows of any
+  /// internal inverse, accumulate the FullPrecReal residual into `rep`,
+  /// and refresh from scratch when `pol` says so. Row selection must
+  /// derive from `gen` only (never per-slot state) so chains stay
+  /// bitwise-identical across crowd/thread decompositions. Default:
+  /// no-op -- only components that maintain an inverse participate.
+  virtual void monitor_inverse_drift(ParticleSet<TR>& p, const PrecisionPolicy& pol, int gen,
+                                     InverseDriftReport& rep)
+  {
+    (void)p;
+    (void)pol;
+    (void)gen;
+    (void)rep;
+  }
 
   // ---- multi-walker (crowd) batched API --------------------------------
   // Each mw_* call is made once per crowd on the leader (wfc_list[0]);

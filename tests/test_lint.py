@@ -301,6 +301,41 @@ class TestFloatAccumulatorInEstimator(LintFixtureCase):
                           "inline float downsample(double x) { float y = 0; return y; }\n")
 
 
+class TestFullPrecDriftAccumulator(LintFixtureCase):
+    def test_fires_on_tr_residual(self):
+        self.assert_fires(
+            "fullprec-drift-accumulator", "src/wavefunction/bad_tr_residual.h",
+            "template<typename TR>\n"
+            "struct D {\n"
+            "  void monitor(const TR* pv) {\n"
+            "    TR residual = 0;\n"
+            "  }\n"
+            "};\n")
+
+    def test_fires_on_float_drift_scalar(self):
+        self.assert_fires(
+            "fullprec-drift-accumulator", "src/wavefunction/bad_float_drift.h",
+            "struct D {\n"
+            "  float max_drift_seen = 0;\n"
+            "};\n")
+
+    def test_full_prec_residual_and_tr_row_storage_are_clean(self):
+        self.assert_clean(
+            "src/wavefunction/ok_drift.h",
+            "template<typename TR>\n"
+            "struct D {\n"
+            "  void monitor(const TR* pv) {\n"
+            "    FullPrecReal residual = 0;\n"
+            "  }\n"
+            "  Matrix<TR> drift_scratch_;\n"
+            "  int drift_rows_ = 0;\n"
+            "};\n")
+
+    def test_other_directories_are_out_of_scope(self):
+        self.assert_clean("src/drivers/ok_drift_elsewhere.h",
+                          "inline void f() { float drift = 0; (void)drift; }\n")
+
+
 class TestSuppression(LintFixtureCase):
     def test_allow_on_same_line(self):
         self.assert_clean(
@@ -365,7 +400,8 @@ class TestCliContract(LintFixtureCase):
         self.assertEqual(code, 0)
         for rule in ("rng-outside-core", "aos-in-hot-path", "chrono-outside-instrument",
                      "cout-in-src", "io-outside-snapshot", "double-in-tr-template",
-                     "scalar-spo-in-crowd-path", "float-accumulator-in-estimator"):
+                     "scalar-spo-in-crowd-path", "float-accumulator-in-estimator",
+                     "fullprec-drift-accumulator"):
             self.assertIn(rule, out)
 
 

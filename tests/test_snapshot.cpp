@@ -386,6 +386,33 @@ TEST(SnapshotCompat, RejectsEachMismatchWithNamedError)
   expect_failure(e, "particle count");
 }
 
+TEST(SnapshotCompat, PrecisionMismatchNamesBothPrecisions)
+{
+  // The restore error must say which precision wrote the snapshot AND
+  // which one this engine computes in, so the fix (the "precision"
+  // policy / variant alias) is actionable from the message alone.
+  const io::PopulationSnapshot snap = synthetic_snapshot(); // written by a double engine
+  io::SnapshotExpectation e;
+  e.precision_bytes = 4;
+  e.fingerprint = snap.workload_fingerprint;
+  e.master_seed = snap.master_seed;
+  e.tau = snap.tau;
+  e.num_particles = snap.num_particles;
+  try
+  {
+    io::validate_compatible(snap, e);
+    FAIL() << "expected a precision-mismatch rejection";
+  }
+  catch (const std::runtime_error& err)
+  {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("precision"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("double"), std::string::npos) << msg; // the snapshot's side
+    EXPECT_NE(msg.find("single"), std::string::npos) << msg; // this engine's side
+    EXPECT_NE(msg.find("\"precision\""), std::string::npos) << msg; // the remedy
+  }
+}
+
 TEST(SnapshotCompat, RejectsEmptyPopulation)
 {
   io::PopulationSnapshot snap = synthetic_snapshot();

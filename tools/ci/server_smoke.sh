@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# qmc_server end-to-end smoke test: queue two jobs, SIGTERM the server
-# mid-run, resume, and require (a) clean retirement of both jobs and
-# (b) streamed "generation" records identical to an uninterrupted
+# qmc_server end-to-end smoke test: queue three jobs (one running the
+# single-precision policy on a double variant alias), SIGTERM the
+# server mid-run, resume, and require (a) clean retirement of all jobs
+# and (b) streamed "generation" records identical to an uninterrupted
 # reference run -- the serving-path form of the exact-resume guarantee.
 #
 #   usage: tools/ci/server_smoke.sh BUILD_DIR
@@ -21,22 +22,31 @@ mkdir -p "$SPOOL" "$REF"
 # the SIGTERM lands between checkpoints; it also turns estimators on so
 # the named-observable stream (per-component energies, g(r)/S(k) bins)
 # crosses the interrupt and must survive resume bitwise. Job 2: a short
-# DMC chain, so branching state crosses the interrupt too.
+# DMC chain, so branching state crosses the interrupt too. Job 3 drives
+# the mixed-precision policy through the serving path: an explicit
+# "precision": "single" on a double-precision variant alias, with the
+# drift guard's knobs set, must run and stream drift telemetry.
 JOB1='{ "workload": "Graphite", "variant": "current", "dmc": false, "estimators": true,
   "driver": { "steps": 12, "num_walkers": 3, "seed": 2017, "num_threads": 1,
               "crowd_size": 4, "checkpoint_every": 1 } }'
 JOB2='{ "workload": "Graphite", "variant": "current", "dmc": true,
   "driver": { "steps": 4, "num_walkers": 3, "seed": 708, "num_threads": 1,
               "crowd_size": 4, "checkpoint_every": 1 } }'
+JOB3='{ "workload": "Graphite", "variant": "currentdp", "precision": "single", "dmc": false,
+  "driver": { "steps": 3, "num_walkers": 3, "seed": 42, "num_threads": 1,
+              "crowd_size": 4, "checkpoint_every": 1,
+              "drift_tolerance": 1e-3, "drift_sample_rows": 2 } }'
 echo "$JOB1" > "$SPOOL/job1.json"
 echo "$JOB2" > "$SPOOL/job2.json"
+echo "$JOB3" > "$SPOOL/job3.json"
 echo "$JOB1" > "$REF/job1.json"
 echo "$JOB2" > "$REF/job2.json"
+echo "$JOB3" > "$REF/job3.json"
 
 echo "server_smoke: reference run"
 "$SERVER" --spool "$REF" --once
-[ -f "$REF/job1.json.done" ] && [ -f "$REF/job2.json.done" ] \
-  || { echo "server_smoke: reference run did not retire both jobs" >&2; exit 1; }
+[ -f "$REF/job1.json.done" ] && [ -f "$REF/job2.json.done" ] && [ -f "$REF/job3.json.done" ] \
+  || { echo "server_smoke: reference run did not retire all jobs" >&2; exit 1; }
 
 echo "server_smoke: interrupted run"
 "$SERVER" --spool "$SPOOL" &
@@ -57,8 +67,8 @@ rc=0; wait "$SERVER_PID" || rc=$?
 
 echo "server_smoke: resumed run"
 "$SERVER" --spool "$SPOOL" --once
-[ -f "$SPOOL/job1.json.done" ] && [ -f "$SPOOL/job2.json.done" ] \
-  || { echo "server_smoke: resumed run did not retire both jobs" >&2; exit 1; }
+[ -f "$SPOOL/job1.json.done" ] && [ -f "$SPOOL/job2.json.done" ] && [ -f "$SPOOL/job3.json.done" ] \
+  || { echo "server_smoke: resumed run did not retire all jobs" >&2; exit 1; }
 [ ! -f "$SPOOL/job1.json.snap" ] \
   || { echo "server_smoke: checkpoint not cleaned up after completion" >&2; exit 1; }
 
@@ -76,9 +86,19 @@ if grep '"generation"' "$REF/job2.json.stream" | grep -q '"estimators"'; then
   echo "server_smoke: job2 streamed estimator bins without asking" >&2; exit 1
 fi
 
+# Every generation record carries the drift-guard telemetry, and the
+# single-precision policy job must have actually sampled rows.
+n_gen3=$(grep -c '"generation"' "$REF/job3.json.stream")
+n_drift=$(grep '"generation"' "$REF/job3.json.stream" | grep -c '"max_drift_residual"' || true)
+[ "$n_drift" -eq "$n_gen3" ] \
+  || { echo "server_smoke: drift telemetry missing from job3 records ($n_drift/$n_gen3)" >&2; exit 1; }
+if grep '"generation"' "$REF/job3.json.stream" | grep -q '"drift_rows_sampled": 0,'; then
+  echo "server_smoke: job3's drift guard never sampled despite precision=single" >&2; exit 1
+fi
+
 # The streamed observables of interrupted + resumed must be identical
 # to the uninterrupted reference, record for record.
-for job in job1 job2; do
+for job in job1 job2 job3; do
   if ! diff <(grep '"generation"' "$SPOOL/$job.json.stream" | sort) \
             <(grep '"generation"' "$REF/$job.json.stream" | sort); then
     echo "server_smoke: $job streamed observables diverged after resume" >&2

@@ -55,6 +55,15 @@ float-accumulator-in-estimator  No reduced-precision accumulators inside
                          accumulation. TR stays legal for *reading* table
                          rows (`const TR*` views); only value/vector
                          declarations in TR or float are flagged.
+fullprec-drift-accumulator  Inverse-drift guard accumulators in
+                         src/wavefunction/ (PR 10): any scalar whose name
+                         mentions drift/residual holds the Sec. 7.2 guard
+                         residual `max_m |psi_row . A^-1 - e_k|` and must be
+                         declared qmcxx::FullPrecReal. A TR- or float-typed
+                         residual computed *in* the monitored precision
+                         cannot see the drift it is guarding against.
+                         Row *storage* (Matrix<TR> scratch) stays TR -- only
+                         scalar declarations are flagged.
 
 Suppression
 -----------
@@ -376,6 +385,16 @@ RULES: list[Rule] = [
         "them qmcxx::FullPrecReal (float / TR values drift under "
         "accumulation); TR remains legal for table-row views",
         include_dirs=("src/estimators/",),
+    ),
+    PatternRule(
+        "fullprec-drift-accumulator",
+        "reduced-precision drift-guard accumulators in src/wavefunction/",
+        r"\b(?:TR|float)\s+\w*(?:residual|drift)\w*\s*(?:=|\{|;|,)",
+        "drift-guard residuals compare against a full-precision identity "
+        "(Sec. 7.2): declare them qmcxx::FullPrecReal -- a TR/float "
+        "residual computed in the monitored precision cannot see the "
+        "drift it guards against",
+        include_dirs=("src/wavefunction/",),
     ),
 ]
 
